@@ -1,0 +1,46 @@
+//! Criterion bench: ARIMA fitting and forecasting — the profiler must be
+//! far cheaper than the 2-minute scheduling window it runs in (§3.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use e3_model::BatchProfile;
+use e3_profiler::{ArimaModel, BatchProfileEstimator, EstimatorConfig};
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|t| 0.5 + 0.2 * (t as f64 * 0.3).sin() + 0.01 * (t % 7) as f64)
+        .collect()
+}
+
+fn bench_arima(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arima-fit");
+    for n in [16usize, 32, 64] {
+        let xs = series(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &xs, |b, xs| {
+            b.iter(|| ArimaModel::fit(xs, 2, 1, 1).expect("fits"))
+        });
+    }
+    group.finish();
+
+    let xs = series(32);
+    let model = ArimaModel::fit(&xs, 2, 1, 1).expect("fits");
+    c.bench_function("arima-forecast-8", |b| b.iter(|| model.forecast(8)));
+
+    // Full estimator step for a 12-layer model: ingest + forecast.
+    c.bench_function("estimator-window-step", |b| {
+        let mut est = BatchProfileEstimator::new(12, EstimatorConfig::default());
+        let obs = BatchProfile::new(vec![
+            1.0, 0.97, 0.83, 0.65, 0.49, 0.36, 0.27, 0.22, 0.21, 0.19, 0.16, 0.11, 0.11,
+        ]);
+        for _ in 0..16 {
+            est.observe_window(&obs);
+        }
+        b.iter(|| {
+            est.observe_window(&obs);
+            est.forecast()
+        })
+    });
+}
+
+criterion_group!(benches, bench_arima);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: serving-engine throughput — simulated requests per
+//! wall-clock second, for the three system shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use e3::harness::{run_closed_loop, HarnessOpts, ModelFamily, SystemKind};
+use e3_hardware::ClusterSpec;
+use e3_workload::DatasetModel;
+
+fn bench_engine(c: &mut Criterion) {
+    let family = ModelFamily::nlp();
+    let cluster = ClusterSpec::paper_homogeneous_v100();
+    let ds = DatasetModel::sst2();
+    let opts = HarnessOpts::default();
+    let n = 5_000usize;
+
+    let mut group = c.benchmark_group("serving-sim");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    for (name, kind) in [
+        ("vanilla", SystemKind::Vanilla),
+        ("naive-ee", SystemKind::NaiveEe),
+        ("e3", SystemKind::E3),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, &k| {
+            b.iter(|| run_closed_loop(k, &family, &cluster, 8, &ds, n, &opts, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

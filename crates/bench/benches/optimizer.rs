@@ -1,0 +1,71 @@
+//! Criterion bench: DP optimizer runtime (fig. 20's overhead table).
+//!
+//! The paper reports optimizer latencies of 0.87–3.63 s on its Python
+//! stack; the shape to reproduce is the ordering — heterogeneous ~2.4x
+//! homogeneous, and BERT-LARGE > ResNet50 > BERT-BASE with layer count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use e3_hardware::{ClusterSpec, GpuKind, LatencyModel, TransferModel};
+use e3_model::{zoo, BatchProfile, EeModel, InferenceSim, RampController};
+use e3_optimizer::auto::plan_for_cluster;
+use e3_optimizer::OptimizerConfig;
+use e3_workload::DatasetModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn profile_for(model: &EeModel) -> BatchProfile {
+    if !model.has_exits() {
+        return BatchProfile::no_exits(model.num_layers());
+    }
+    let policy = zoo::default_policy(model.name());
+    let ctrl = RampController::all_enabled(model.num_ramps(), policy.ramp_style());
+    let infer = InferenceSim::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let hs = DatasetModel::sst2().sample_hardnesses(2000, &mut rng);
+    infer.exit_profile(model, &policy, &ctrl, &hs, &mut rng)
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let lm = LatencyModel::new();
+    let tm = TransferModel::default();
+    let cfg = OptimizerConfig::default();
+    let homo = ClusterSpec::paper_homogeneous_v100();
+    let hetero = ClusterSpec::paper_heterogeneous();
+
+    let mut group = c.benchmark_group("optimizer");
+    for (name, model) in [
+        ("ResNet50", zoo::branchy_resnet50()),
+        ("BERT-BASE", zoo::deebert()),
+        ("BERT-LARGE", zoo::pabee()),
+    ] {
+        let profile = profile_for(&model);
+        let ctrl = RampController::all_enabled(
+            model.num_ramps(),
+            zoo::default_policy(model.name()).ramp_style(),
+        );
+        group.bench_with_input(BenchmarkId::new("homogeneous", name), &model, |b, m| {
+            b.iter(|| plan_for_cluster(m, &ctrl, &profile, &homo, 8.0, &tm, &lm, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("heterogeneous", name), &model, |b, m| {
+            b.iter(|| plan_for_cluster(m, &ctrl, &profile, &hetero, 8.0, &tm, &lm, &cfg))
+        });
+    }
+    group.finish();
+
+    // Scaling in GPU count (the other axis of fig. 20).
+    let dee = zoo::deebert();
+    let profile = profile_for(&dee);
+    let ctrl = RampController::all_enabled(dee.num_ramps(), zoo::default_policy("DeeBERT").ramp_style());
+    let mut group = c.benchmark_group("optimizer-gpu-scaling");
+    for gpus in [4usize, 16, 46] {
+        let cluster = ClusterSpec::homogeneous(GpuKind::V100, gpus, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(gpus), &cluster, |b, cl| {
+            b.iter(|| plan_for_cluster(&dee, &ctrl, &profile, cl, 8.0, &tm, &lm, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

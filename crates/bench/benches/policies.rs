@@ -1,0 +1,32 @@
+//! Criterion bench: per-sample exit-policy evaluation cost across the
+//! five policy families (the §5.6 generality axis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use e3_model::{zoo, ExitPolicy, InferenceSim, RampController};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_policies(c: &mut Criterion) {
+    let model = zoo::deebert();
+    let infer = InferenceSim::new();
+    let policies = [
+        ("entropy", ExitPolicy::Entropy { threshold: 0.4 }),
+        ("confidence", ExitPolicy::Confidence { threshold: 0.9 }),
+        ("patience", ExitPolicy::Patience { patience: 4 }),
+        ("voting", ExitPolicy::Voting { quorum: 3 }),
+        ("learned", ExitPolicy::Learned { threshold: 0.7 }),
+    ];
+    let mut group = c.benchmark_group("exit-policy-sample");
+    for (name, policy) in policies {
+        let ctrl = RampController::all_enabled(model.num_ramps(), policy.ramp_style());
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, p| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| infer.run_sample(&model, p, &ctrl, 0.45, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Optimizer design-choice ablations (the studies DESIGN.md commits to):
+//! pipelined vs serial objective, surviving-batch transfer accounting,
+//! the stage realization penalty, and the fusion-wait policy — each
+//! evaluated by predicted *and* realized goodput.
+
+use e3::harness::{build_e3_plan, run_closed_loop, HarnessOpts, ModelFamily, SystemKind};
+use e3_bench::{takeaway, Table, RUN_N, SEED};
+use e3_hardware::{ClusterSpec, GpuKind, LatencyModel};
+use e3_model::{zoo, InferenceSim, RampController};
+use e3_optimizer::{run_ablations, OptimizerConfig};
+use e3_simcore::SeedSplitter;
+use e3_workload::DatasetModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("Optimizer design-choice ablations (DeeBERT, 16 x V100, b=8)\n");
+    let model = zoo::deebert();
+    let policy = zoo::default_policy("DeeBERT");
+    let ctrl = RampController::all_enabled(model.num_ramps(), policy.ramp_style());
+    let infer = InferenceSim::new();
+    let mut rng = StdRng::seed_from_u64(SeedSplitter::new(SEED).derive("ablation"));
+    let hs = DatasetModel::sst2().sample_hardnesses(5000, &mut rng);
+    let profile = infer.exit_profile(&model, &policy, &ctrl, &hs, &mut rng);
+
+    let mut t = Table::new(
+        "predicted goodput, design choice vs alternative",
+        &["with", "without", "gain"],
+    );
+    let results = run_ablations(
+        &model,
+        &ctrl,
+        &profile,
+        GpuKind::V100,
+        16,
+        8.0,
+        &LatencyModel::new(),
+        &OptimizerConfig::default(),
+    );
+    for r in &results {
+        t.row_fmt(
+            r.name,
+            &[r.with_choice.goodput, r.without_choice.goodput, r.gain()],
+            2,
+        );
+    }
+    t.print();
+    println!();
+
+    // Realized ablation: the stage realization penalty, measured in the
+    // actual serving simulator rather than by the DP's own estimate.
+    let family = ModelFamily::nlp();
+    let cluster = ClusterSpec::paper_homogeneous_v100();
+    let ds = DatasetModel::sst2();
+    let mut t2 = Table::new(
+        "realized goodput: stage penalty on vs off (per seed)",
+        &["penalty on", "penalty off", "splits on/off"],
+    );
+    for seed in [SEED, SEED + 1, SEED + 2] {
+        let on_opts = HarnessOpts::default();
+        let off_opts = HarnessOpts {
+            stage_overhead_frac: 0.0,
+            ..Default::default()
+        };
+        let on = run_closed_loop(
+            SystemKind::E3, &family, &cluster, 8, &ds, RUN_N, &on_opts, seed,
+        )
+        .goodput();
+        let off = run_closed_loop(
+            SystemKind::E3, &family, &cluster, 8, &ds, RUN_N, &off_opts, seed,
+        )
+        .goodput();
+        let plan_on = build_e3_plan(&family, &cluster, 8, &ds, &on_opts, seed);
+        let plan_off = build_e3_plan(&family, &cluster, 8, &ds, &off_opts, seed);
+        t2.row_str(
+            format!("seed {seed}"),
+            &[
+                format!("{on:.0}"),
+                format!("{off:.0}"),
+                format!("{}/{}", plan_on.num_splits(), plan_off.num_splits()),
+            ],
+        );
+    }
+    t2.print();
+    takeaway("pipelining is the load-bearing choice; transfer realism decides whether splits happen at all");
+}

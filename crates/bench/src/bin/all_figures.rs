@@ -1,0 +1,47 @@
+//! Runs every figure/table experiment in sequence. Output of this binary
+//! is the source for `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release -p e3-bench --bin all_figures | tee experiments.txt
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let figures = [
+        "fig02_ee_savings",
+        "fig03_batch_shrinkage",
+        "fig07_nlp_goodput",
+        "fig08_vision_goodput",
+        "fig09_compressed_goodput",
+        "fig10_llm_translation",
+        "fig11_llm_summarization",
+        "fig12_llama_boolq",
+        "fig13_heterogeneous",
+        "fig14_gpu_count",
+        "fig15_cost",
+        "fig16_adaptability",
+        "fig17_latency",
+        "fig18_pabee",
+        "fig19_bursty",
+        "fig20_optimizer_overhead",
+        "fig21_profile_accuracy",
+        "fig22_misprediction",
+        "fig23_entropy",
+        "fig24_slo",
+        "fig25_wrapper",
+        "fig26_model_parallelism",
+        "generality_policies",
+        "ablations",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for fig in figures {
+        println!("\n{:=^78}\n", format!(" {fig} "));
+        let status = Command::new(dir.join(fig))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
+        assert!(status.success(), "{fig} failed");
+    }
+    println!("\nall {} experiments completed", figures.len());
+}

@@ -1,0 +1,33 @@
+//! Fig. 9 — E3 complements compression: DistilBERT vs DistilBERT-EE vs
+//! E3 (the paper develops DistilBERT-EE in house, §2.2).
+//!
+//! The paper runs this on a smaller resource slice than fig. 7; we use
+//! two V100s, which matches the scale of its reported goodputs.
+
+use e3::harness::{HarnessOpts, ModelFamily};
+use e3_bench::{exp, takeaway};
+use e3_hardware::{ClusterSpec, GpuKind};
+use e3_workload::DatasetModel;
+
+fn main() {
+    println!("Figure 9: compressed-model goodput (samples/s), 2 x V100\n");
+    let rows = exp::goodput_sweep(
+        "goodput vs batch size",
+        &ModelFamily::compressed(),
+        &ClusterSpec::homogeneous(GpuKind::V100, 2, 2),
+        &[1, 2, 4, 8, 16, 32],
+        &DatasetModel::sst2(),
+        &HarnessOpts::default(),
+        &[
+            ("DistilBERT", &[405.0, 561.0, 708.0, 791.0, 867.0, 917.0]),
+            ("DistilBERT-EE", &[446.0, 651.0, 813.0, 889.0, 1111.0, 918.0]),
+            ("E3", &[481.0, 733.0, 1021.0, 1243.0, 1426.0, 1530.0]),
+        ],
+    );
+    let e3_32 = rows[2].1[5];
+    let distil_32 = rows[0].1[5];
+    takeaway(&format!(
+        "at b=32: E3/DistilBERT = {:.2}x (paper 1.67x) — exits and distillation compose",
+        e3_32 / distil_32
+    ));
+}

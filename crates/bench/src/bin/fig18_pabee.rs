@@ -1,0 +1,30 @@
+//! Fig. 18 — generality to other EE architectures: PABEE (BERT-LARGE
+//! with patience-counter ramps, a *dependent* ramp style) under E3.
+
+use e3::harness::{HarnessOpts, ModelFamily};
+use e3_bench::{exp, takeaway};
+use e3_hardware::ClusterSpec;
+use e3_workload::DatasetModel;
+
+fn main() {
+    println!("Figure 18: PABEE (patience-based exits on BERT-LARGE), 16 x V100\n");
+    let rows = exp::goodput_sweep(
+        "goodput vs batch size",
+        &ModelFamily::pabee(),
+        &ClusterSpec::paper_homogeneous_v100(),
+        &[1, 2, 4, 8],
+        &DatasetModel::sst2(),
+        &HarnessOpts::default(),
+        &[
+            ("BERT-LARGE", &[796.0, 1542.0, 1908.0, 2106.0]),
+            ("PABEE", &[973.0, 1632.0, 1764.0, 1717.0]),
+            ("E3", &[985.0, 1904.0, 2373.0, 2666.0]),
+        ],
+    );
+    let e3_8 = rows[2].1[3];
+    let pabee_8 = rows[1].1[3];
+    takeaway(&format!(
+        "a counter-based (dependent-ramp) architecture: E3/PABEE at b=8 = {:.2}x (paper 1.55x)",
+        e3_8 / pabee_8
+    ));
+}

@@ -1,0 +1,64 @@
+//! Fig. 20 (table) — optimizer overhead: time for one full optimization
+//! pass per model, homogeneous vs heterogeneous.
+//!
+//! The paper's Python implementation takes 0.87–3.63 s; the shape that
+//! must hold is heterogeneous > homogeneous and cost growing with layer
+//! count. (Criterion benches in `benches/optimizer.rs` measure the same
+//! thing with statistical rigor.)
+
+use std::time::Instant;
+
+use e3_bench::{takeaway, Table, SEED};
+use e3_hardware::{ClusterSpec, LatencyModel, TransferModel};
+use e3_model::{zoo, InferenceSim, RampController};
+use e3_optimizer::auto::plan_for_cluster;
+use e3_optimizer::OptimizerConfig;
+use e3_simcore::SeedSplitter;
+use e3_workload::DatasetModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("Figure 20: optimizer overhead (ms per full pass; paper reports seconds on Python)\n");
+    let lm = LatencyModel::new();
+    let tm = TransferModel::default();
+    let cfg = OptimizerConfig::default();
+    let homo = ClusterSpec::paper_homogeneous_v100();
+    let hetero = ClusterSpec::paper_heterogeneous();
+    let infer = InferenceSim::new();
+
+    let mut t = Table::new(
+        "optimizer wall time (ms)",
+        &["homogeneous", "heterogeneous"],
+    );
+    for (label, model) in [
+        ("ResNet50", zoo::branchy_resnet50()),
+        ("BERT-BASE", zoo::deebert()),
+        ("BERT-LARGE", zoo::pabee()),
+    ] {
+        let policy = zoo::default_policy(model.name());
+        let ctrl = RampController::all_enabled(model.num_ramps(), policy.ramp_style());
+        let mut rng = StdRng::seed_from_u64(SeedSplitter::new(SEED).derive(label));
+        let hs = DatasetModel::sst2().sample_hardnesses(3000, &mut rng);
+        let profile = infer.exit_profile(&model, &policy, &ctrl, &hs, &mut rng);
+        let mut times = Vec::new();
+        for cluster in [&homo, &hetero] {
+            let reps = 5;
+            let start = Instant::now();
+            for _ in 0..reps {
+                let plan =
+                    plan_for_cluster(&model, &ctrl, &profile, cluster, 8.0, &tm, &lm, &cfg);
+                std::hint::black_box(plan);
+            }
+            times.push(start.elapsed().as_secs_f64() * 1000.0 / f64::from(reps));
+        }
+        t.row_fmt(label, &times, 2);
+    }
+    t.row_fmt("paper:ResNet50 (s)", &[1.13, 2.62], 2);
+    t.row_fmt("paper:BERT-BASE (s)", &[0.87, 2.09], 2);
+    t.row_fmt("paper:BERT-LARGE (s)", &[1.53, 3.63], 2);
+    t.print();
+    takeaway(
+        "the optimizer is lightweight (well under the 2-minute window); heterogeneity costs extra, larger models cost more",
+    );
+}

@@ -1,0 +1,50 @@
+//! Fig. 21 — the online batch-profile estimation closely matches
+//! reality: predicted vs actual batch size at two cut points over 10
+//! scheduling windows (input batch 8).
+
+use e3::{E3Config, E3System};
+use e3_bench::{takeaway, Table, SEED};
+use e3_hardware::ClusterSpec;
+use e3_model::zoo;
+use e3_workload::DatasetModel;
+
+fn main() {
+    println!("Figure 21: predicted vs actual batch size at two model cut points (b=8)\n");
+    let family_model = zoo::deebert();
+    let sys = E3System::new(
+        family_model,
+        zoo::default_policy("DeeBERT"),
+        ClusterSpec::paper_homogeneous_v100(),
+        E3Config {
+            seed: SEED,
+            requests_per_window: 8000,
+            ..Default::default()
+        },
+    );
+    // A mildly drifting workload: the mix eases over time, so there is a
+    // real signal to track.
+    let phases: Vec<DatasetModel> = (0..12)
+        .map(|w| DatasetModel::with_mix(0.6 + 0.02 * w as f64))
+        .collect();
+    let report = sys.run_windows(&phases);
+
+    // Cut points at one-third and two-thirds of the model.
+    for cut in [4usize, 8] {
+        let cols: Vec<String> = (1..=10).map(|w| format!("w{w}")).collect();
+        let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        let mut t = Table::new(format!("batch size at layer {cut} (of input 8)"), &col_refs);
+        // Skip the two warm-up windows (cold start predicts no exits).
+        let series = report.profile_series(cut);
+        let predicted: Vec<f64> = series[2..12].iter().map(|(p, _)| p * 8.0).collect();
+        let actual: Vec<f64> = series[2..12]
+            .iter()
+            .map(|(_, o)| o.map_or(f64::NAN, |v| v * 8.0))
+            .collect();
+        t.row_fmt("predicted", &predicted, 2);
+        t.row_fmt("actual", &actual, 2);
+        t.print();
+        let mape = e3_simcore::stats::mape(&predicted, &actual);
+        println!("  mean absolute percentage error: {:.1}%\n", mape * 100.0);
+    }
+    takeaway("after the two-window warm-up, predictions track reality closely (paper: close match)");
+}

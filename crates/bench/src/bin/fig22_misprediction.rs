@@ -1,0 +1,49 @@
+//! Fig. 22 — misprediction sensitivity: goodput lost as the batch
+//! profile the optimizer plans with is deliberately wrong by 0–100%.
+//!
+//! Errors cost only magnitude, never correctness (§3.1): an error of
+//! `e` makes the planner assume `(1-e)` of the true shrinkage.
+
+use e3::harness::{run_closed_loop, HarnessOpts, ModelFamily, SystemKind};
+use e3_bench::{takeaway, Table, RUN_N, SEED};
+use e3_hardware::ClusterSpec;
+use e3_workload::DatasetModel;
+
+fn main() {
+    println!("Figure 22: goodput under profile misprediction (16 x V100, SST-2-like)\n");
+    let family = ModelFamily::nlp();
+    let cluster = ClusterSpec::paper_homogeneous_v100();
+    let ds = DatasetModel::sst2();
+    // Negative error = the planner assumes MORE shrinkage than reality
+    // (late stages under-provisioned); positive = less (conservative).
+    let errors = [-1.0, -0.5, -0.2, 0.0, 0.2, 0.5, 1.0];
+    let cols: Vec<String> = errors.iter().map(|e: &f64| format!("{:+.0}%", e * 100.0)).collect();
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut t = Table::new("E3 goodput vs prediction error", &col_refs);
+    for batch in [8usize, 16] {
+        let gs: Vec<f64> = errors
+            .iter()
+            .map(|&e| {
+                run_closed_loop(
+                    SystemKind::E3,
+                    &family,
+                    &cluster,
+                    batch,
+                    &ds,
+                    RUN_N,
+                    &HarnessOpts {
+                        profile_error: e,
+                        ..Default::default()
+                    },
+                    SEED,
+                )
+                .goodput()
+            })
+            .collect();
+        t.row(format!("input batch = {batch}"), &gs);
+    }
+    t.print();
+    takeaway(
+        "mild conservative errors cost little (paper: 4-8% at 20% error). The worst case is a mildly optimistic profile that commits to an under-provisioned multi-split plan; wildly wrong profiles degenerate to the robust single-split plan, and the control loop repairs either within a window",
+    );
+}

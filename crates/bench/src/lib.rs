@@ -1,0 +1,193 @@
+//! Shared infrastructure for the per-figure experiment binaries.
+//!
+//! Every table and figure in the paper's evaluation (§5) has a binary in
+//! `src/bin/` that regenerates it:
+//!
+//! ```text
+//! cargo run --release -p e3-bench --bin fig07_nlp_goodput
+//! ```
+//!
+//! All binaries are deterministic (fixed seeds) and print aligned tables
+//! with the measured values next to the paper's reported numbers where
+//! available. `bin/all_figures` runs every experiment in sequence.
+//!
+//! Absolute values are not expected to match the paper — the substrate is
+//! a calibrated simulator, not the authors' testbed — but the *shape*
+//! (who wins, by what rough factor, where crossovers fall) should, and
+//! `EXPERIMENTS.md` records both.
+
+use std::fmt::Write as _;
+
+/// Default request count per closed-loop measurement point.
+pub const RUN_N: usize = 20_000;
+/// Root seed for all experiments.
+pub const SEED: u64 = 0xE3;
+
+/// A simple aligned table printer for experiment output.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<String>)>,
+}
+
+impl Table {
+    /// Creates a table titled `title` with value columns `columns`.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row of numeric values (rendered with no decimals).
+    pub fn row(&mut self, label: impl Into<String>, values: &[f64]) -> &mut Self {
+        self.row_fmt(label, values, 0)
+    }
+
+    /// Adds a row rendered with `decimals` decimal places.
+    pub fn row_fmt(
+        &mut self,
+        label: impl Into<String>,
+        values: &[f64],
+        decimals: usize,
+    ) -> &mut Self {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((
+            label.into(),
+            values
+                .iter()
+                .map(|v| format!("{v:.decimals$}"))
+                .collect(),
+        ));
+        self
+    }
+
+    /// Adds a row of pre-formatted strings.
+    pub fn row_str(&mut self, label: impl Into<String>, values: &[String]) -> &mut Self {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), values.to_vec()));
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap_or(8);
+        let col_ws: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                self.rows
+                    .iter()
+                    .map(|(_, vs)| vs[i].len())
+                    .chain(std::iter::once(c.len()))
+                    .max()
+                    .unwrap_or(c.len())
+            })
+            .collect();
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = write!(out, "{:label_w$}", "");
+        for (c, w) in self.columns.iter().zip(&col_ws) {
+            let _ = write!(out, "  {c:>w$}");
+        }
+        let _ = writeln!(out);
+        for (label, vals) in &self.rows {
+            let _ = write!(out, "{label:label_w$}");
+            for (v, w) in vals.iter().zip(&col_ws) {
+                let _ = write!(out, "  {v:>w$}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Prints a one-line takeaway under a table.
+pub fn takeaway(msg: &str) {
+    println!("  -> {msg}\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["b=1", "b=2"]);
+        t.row("BERT", &[1632.0, 3088.0]);
+        t.row_fmt("ratio", &[1.0, 1.893], 2);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("1632"));
+        assert!(s.contains("1.89"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row("x", &[1.0, 2.0]);
+    }
+}
+
+/// Experiment helpers shared by several figure binaries.
+pub mod exp {
+    use super::{Table, RUN_N, SEED};
+    use e3::harness::{run_closed_loop, HarnessOpts, ModelFamily, SystemKind};
+    use e3_hardware::ClusterSpec;
+    use e3_workload::DatasetModel;
+
+    /// Runs the three systems over a batch-size sweep and prints a table;
+    /// returns measured goodputs as `[(system, per-batch goodput)]`.
+    pub fn goodput_sweep(
+        title: &str,
+        family: &ModelFamily,
+        cluster: &ClusterSpec,
+        batches: &[usize],
+        dataset: &DatasetModel,
+        opts: &HarnessOpts,
+        paper_rows: &[(&str, &[f64])],
+    ) -> Vec<(String, Vec<f64>)> {
+        let cols: Vec<String> = batches.iter().map(|b| format!("b={b}")).collect();
+        let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        let mut t = Table::new(title, &col_refs);
+        let systems = [
+            (family.stock.name().to_string(), SystemKind::Vanilla),
+            (family.ee.name().to_string(), SystemKind::NaiveEe),
+            ("E3".to_string(), SystemKind::E3),
+        ];
+        let mut out = Vec::new();
+        for (name, kind) in systems {
+            let gs: Vec<f64> = batches
+                .iter()
+                .map(|&b| {
+                    run_closed_loop(kind, family, cluster, b, dataset, RUN_N, opts, SEED)
+                        .goodput()
+                })
+                .collect();
+            t.row(&name, &gs);
+            out.push((name, gs));
+        }
+        for (label, vals) in paper_rows {
+            t.row(format!("paper:{label}"), vals);
+        }
+        t.print();
+        out
+    }
+}

@@ -1,0 +1,41 @@
+//! # e3
+//!
+//! The E3 system: practical, per-input compute adaptation for DNN
+//! inference serving (SOSP 2024).
+//!
+//! Early-exit DNNs let easy inputs leave a model from intermediate
+//! layers, saving compute — but exits shrink batches mid-model, starving
+//! GPUs and destroying the throughput that batching provides. E3 fixes
+//! this by **splitting** the model into contiguous blocks at the points
+//! where batches shrink, **replicating** the early blocks, and
+//! **re-fusing** survivor batches at block boundaries, so every layer
+//! executes at a constant, GPU-saturating batch size.
+//!
+//! This crate is the top of the workspace: it wires the online batch
+//! profiler (`e3-profiler`), the DP split optimizer (`e3-optimizer`), and
+//! the serving runtime (`e3-runtime`) into the closed control loop of the
+//! paper's fig. 4, and offers a one-shot [`harness`] for experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use e3::harness::{self, SystemKind};
+//! use e3_hardware::ClusterSpec;
+//! use e3_workload::DatasetModel;
+//!
+//! // Serve an easy-skewed NLP workload on 16 V100s at batch 8.
+//! let cluster = ClusterSpec::paper_homogeneous_v100();
+//! let dataset = DatasetModel::sst2();
+//! let e3 = harness::run_nlp(SystemKind::E3, &cluster, 8, &dataset, 20_000, 42);
+//! let bert = harness::run_nlp(SystemKind::Vanilla, &cluster, 8, &dataset, 20_000, 42);
+//! assert!(e3.goodput() > bert.goodput());
+//! ```
+
+pub mod config;
+pub mod harness;
+pub mod report;
+pub mod system;
+
+pub use config::E3Config;
+pub use report::{E3Report, WindowReport};
+pub use system::E3System;

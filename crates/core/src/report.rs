@@ -1,0 +1,82 @@
+//! Reports from windowed E3 runs.
+
+use e3_model::BatchProfile;
+use e3_optimizer::SplitPlan;
+use e3_runtime::RunReport;
+
+/// What happened in one scheduling window.
+#[derive(Debug, Clone)]
+pub struct WindowReport {
+    /// Window index.
+    pub window: usize,
+    /// The profile the estimator predicted for this window.
+    pub predicted: BatchProfile,
+    /// The profile actually observed.
+    pub observed: Option<BatchProfile>,
+    /// The plan the optimizer produced from the prediction.
+    pub plan: SplitPlan,
+    /// Serving metrics for the window.
+    pub run: RunReport,
+    /// Mean absolute survival error of the prediction (fig. 21/22).
+    pub drift: f64,
+}
+
+/// A full multi-window E3 run.
+#[derive(Debug, Clone)]
+pub struct E3Report {
+    /// Per-window details.
+    pub windows: Vec<WindowReport>,
+}
+
+impl E3Report {
+    /// Aggregate goodput across windows (samples/s).
+    pub fn goodput(&self) -> f64 {
+        let total: f64 = self.windows.iter().map(|w| w.run.within_slo as f64).sum();
+        let dur: f64 = self
+            .windows
+            .iter()
+            .map(|w| w.run.duration.as_secs_f64())
+            .sum();
+        if dur == 0.0 {
+            0.0
+        } else {
+            total / dur
+        }
+    }
+
+    /// Aggregate accuracy across windows.
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = self.windows.iter().map(|w| w.run.correct).sum();
+        let done: u64 = self.windows.iter().map(|w| w.run.completed).sum();
+        if done == 0 {
+            0.0
+        } else {
+            correct as f64 / done as f64
+        }
+    }
+
+    /// Mean prediction drift over windows that had observations.
+    pub fn mean_drift(&self) -> f64 {
+        let with_obs: Vec<f64> = self
+            .windows
+            .iter()
+            .filter(|w| w.observed.is_some())
+            .map(|w| w.drift)
+            .collect();
+        e3_simcore::stats::mean(&with_obs)
+    }
+
+    /// `(predicted, observed)` survival at a given layer boundary per
+    /// window — the series plotted in fig. 21.
+    pub fn profile_series(&self, boundary: usize) -> Vec<(f64, Option<f64>)> {
+        self.windows
+            .iter()
+            .map(|w| {
+                (
+                    w.predicted.survival_at(boundary),
+                    w.observed.as_ref().map(|o| o.survival_at(boundary)),
+                )
+            })
+            .collect()
+    }
+}

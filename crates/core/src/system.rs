@@ -1,0 +1,356 @@
+//! The E3 control loop (fig. 4).
+//!
+//! Time is divided into scheduling windows. In each window the system
+//! serves with the plan computed from the *previous* window's forecast,
+//! observes the realized batch-shrinkage profile from completion events,
+//! feeds it to the ARIMA estimator, and re-runs the DP optimizer for the
+//! next window. Before any observation exists the estimator predicts "no
+//! exits", so E3 boots as a stock data-parallel deployment and adapts
+//! from there — exactly the conservative behaviour §3.1 calls for.
+
+use e3_hardware::{ClusterSpec, LatencyModel, TransferModel};
+use e3_model::{BatchProfile, EeModel, ExitPolicy, InferenceSim, RampController};
+use e3_optimizer::auto::plan_for_cluster;
+use e3_optimizer::OptimizerConfig;
+use e3_profiler::{BatchProfileEstimator, WindowObserver};
+use e3_runtime::{ServingConfig, ServingSim, Strategy};
+use e3_simcore::SeedSplitter;
+use e3_workload::{DatasetModel, Request};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::E3Config;
+use crate::report::{E3Report, WindowReport};
+
+/// A running E3 deployment: model + cluster + control loop.
+pub struct E3System {
+    model: EeModel,
+    policy: ExitPolicy,
+    cluster: ClusterSpec,
+    cfg: E3Config,
+    lm: LatencyModel,
+    tm: TransferModel,
+    infer: InferenceSim,
+}
+
+impl E3System {
+    /// Creates a deployment for an EE model on a cluster.
+    pub fn new(model: EeModel, policy: ExitPolicy, cluster: ClusterSpec, cfg: E3Config) -> Self {
+        E3System {
+            model,
+            policy,
+            cluster,
+            cfg,
+            lm: LatencyModel::new(),
+            tm: TransferModel::default(),
+            infer: InferenceSim::new(),
+        }
+    }
+
+    /// Overrides the inference-semantics engine (e.g. dataset accuracy).
+    pub fn with_inference(mut self, infer: InferenceSim) -> Self {
+        self.infer = infer;
+        self
+    }
+
+    /// The optimizer configuration induced by this system's settings.
+    fn optimizer_config(&self) -> OptimizerConfig {
+        OptimizerConfig {
+            slo: self.cfg.slo,
+            slack_frac: self.cfg.slack_frac,
+            pipelining: self.cfg.pipelining,
+            max_splits: self.cfg.max_splits,
+            ..Default::default()
+        }
+    }
+
+    /// Runs one scheduling window per entry of `phases` (fig. 16 switches
+    /// the dataset between phases; pass the same dataset repeatedly for a
+    /// stationary workload).
+    ///
+    /// Returns per-window predictions, observations, plans, and serving
+    /// metrics.
+    pub fn run_windows(&self, phases: &[DatasetModel]) -> E3Report {
+        let seeds = SeedSplitter::new(self.cfg.seed);
+        let mut estimator =
+            BatchProfileEstimator::new(self.model.num_layers(), self.cfg.estimator);
+        let mut windows = Vec::with_capacity(phases.len());
+
+        for (w, dataset) in phases.iter().enumerate() {
+            let predicted = estimator.forecast();
+            let full_ctrl = RampController::all_enabled(
+                self.model.num_ramps(),
+                self.policy.ramp_style(),
+            );
+            let plan = plan_for_cluster(
+                &self.model,
+                &full_ctrl,
+                &predicted,
+                &self.cluster,
+                self.cfg.batch.max(1) as f64,
+                &self.tm,
+                &self.lm,
+                &self.optimizer_config(),
+            );
+
+            // Exit-wrapper (§3.4): disable ramps that are not useful —
+            // those where almost nothing exits — keeping boundary ramps
+            // (required to realize the batch profile) regardless.
+            let serve_ctrl = if self.cfg.use_wrapper {
+                let mut c = full_ctrl.clone();
+                let keep = useful_ramps(&self.model, &predicted, &plan.boundaries(), 0.04);
+                c.keep_only(&keep);
+                c
+            } else {
+                full_ctrl
+            };
+
+            // Serve the window.
+            let mut rng = StdRng::seed_from_u64(seeds.derive_indexed("window-reqs", w as u64));
+            let requests: Vec<Request> = (0..self.cfg.requests_per_window as u64)
+                .map(|id| Request {
+                    id,
+                    arrival: e3_simcore::SimTime::ZERO,
+                    hardness: dataset.sample_hardness(&mut rng),
+                    output_tokens: 1,
+                })
+                .collect();
+            let stages = Strategy::Plan(plan.clone()).realize(&self.model, &self.cluster);
+            let sim = ServingSim::new(
+                &self.model,
+                self.policy,
+                serve_ctrl,
+                self.infer,
+                stages,
+                self.lm,
+                self.tm,
+                ServingConfig {
+                    slo: self.cfg.slo,
+                    closed_loop: true,
+                    fusion_waits: plan
+                        .splits
+                        .iter()
+                        .map(|split| {
+                            let s_in = if split.batch_time.is_zero() {
+                                1.0
+                            } else {
+                                (split.effective_time.as_secs_f64()
+                                    * split.replicas as f64
+                                    / split.batch_time.as_secs_f64())
+                                .clamp(0.05, 1.0)
+                            };
+                            plan.cycle_time
+                                .mul_f64(1.5 / s_in)
+                                .max(e3_simcore::SimDuration::from_millis(5))
+                                .min(self.cfg.slo.mul_f64(0.6))
+                        })
+                        .collect(),
+                    ..Default::default()
+                },
+            );
+            let run = sim.run(&requests, seeds.derive_indexed("window-run", w as u64));
+
+            // Observe the realized profile.
+            let mut obs = WindowObserver::new(self.model.num_layers());
+            for e in &run.exit_events {
+                if e.exited_early {
+                    obs.record_exit(e.layers_executed - 1);
+                } else {
+                    obs.record_completion();
+                }
+            }
+            let observed = obs.profile();
+            let drift = observed.as_ref().map_or(0.0, |o| estimator.drift(o));
+            if let Some(o) = &observed {
+                // Reactive correction (§3.1): a drastic mismatch means the
+                // workload regime changed; forget the dead trend so the
+                // next forecast tracks the new one immediately.
+                if estimator.drift_exceeds(o) {
+                    estimator.reset_history();
+                }
+                estimator.observe_window(o);
+            }
+
+            windows.push(WindowReport {
+                window: w,
+                predicted,
+                observed,
+                plan,
+                run,
+                drift,
+            });
+        }
+        E3Report { windows }
+    }
+
+    /// The model served by this system.
+    pub fn model(&self) -> &EeModel {
+        &self.model
+    }
+
+    /// Convenience: a one-window run on a stationary dataset.
+    pub fn run_stationary(&self, dataset: &DatasetModel, windows: usize) -> E3Report {
+        let phases = vec![dataset.clone(); windows];
+        self.run_windows(&phases)
+    }
+}
+
+/// Selects the ramps worth keeping under the exit-wrapper (§3.4): a ramp
+/// survives if at least `min_exit_frac` of the batch exits there per the
+/// profile, or if it sits at a split boundary (boundary ramps realize the
+/// batch profile the optimizer planned for and are always required).
+pub fn useful_ramps(
+    model: &EeModel,
+    profile: &BatchProfile,
+    boundaries: &[usize],
+    min_exit_frac: f64,
+) -> Vec<usize> {
+    // No observed exit activity means no evidence of uselessness — keep
+    // everything. (Disabling on a cold-start "no exits" prediction would
+    // suppress all exits and the profiler could never learn otherwise.)
+    if profile.survival_at(profile.num_layers()) > 1.0 - min_exit_frac {
+        return (0..model.num_ramps()).collect();
+    }
+    model
+        .ramps()
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| {
+            let k = r.after_layer;
+            let exit_frac = profile.survival_at(k) - profile.survival_at(k + 1);
+            exit_frac >= min_exit_frac || boundaries.contains(&(k + 1))
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Bootstraps a batch profile by measuring exit behaviour offline —
+/// what the paper's deployment gets from its first profiling window.
+pub fn measure_profile(
+    model: &EeModel,
+    policy: &ExitPolicy,
+    ctrl: &RampController,
+    infer: &InferenceSim,
+    dataset: &DatasetModel,
+    n: usize,
+    seed: u64,
+) -> BatchProfile {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hs = dataset.sample_hardnesses(n, &mut rng);
+    infer.exit_profile(model, policy, ctrl, &hs, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e3_model::zoo;
+
+    fn small_cfg() -> E3Config {
+        E3Config {
+            requests_per_window: 4000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn first_window_boots_conservatively() {
+        let sys = E3System::new(
+            zoo::deebert(),
+            zoo::default_policy("DeeBERT"),
+            ClusterSpec::paper_homogeneous_v100(),
+            small_cfg(),
+        );
+        let report = sys.run_stationary(&DatasetModel::sst2(), 3);
+        assert_eq!(report.windows.len(), 3);
+        // Window 0 predicts no exits -> single split.
+        assert_eq!(report.windows[0].plan.num_splits(), 1);
+        // After observing, the optimizer starts splitting.
+        assert!(
+            report.windows[2].plan.num_splits() >= 2,
+            "{}",
+            report.windows[2].plan
+        );
+        // And goodput improves once adapted.
+        assert!(
+            report.windows[2].run.goodput() > report.windows[0].run.goodput(),
+            "w2 {} w0 {}",
+            report.windows[2].run.goodput(),
+            report.windows[0].run.goodput()
+        );
+    }
+
+    #[test]
+    fn adapts_to_phase_change() {
+        let sys = E3System::new(
+            zoo::deebert(),
+            zoo::default_policy("DeeBERT"),
+            ClusterSpec::paper_homogeneous_v100(),
+            small_cfg(),
+        );
+        // Easy workload, then hard.
+        let phases = vec![
+            DatasetModel::with_mix(0.8),
+            DatasetModel::with_mix(0.8),
+            DatasetModel::with_mix(0.8),
+            DatasetModel::with_mix(0.2),
+            DatasetModel::with_mix(0.2),
+            DatasetModel::with_mix(0.2),
+        ];
+        let report = sys.run_windows(&phases);
+        // Drift spikes at the regime change (window 3) relative to the
+        // settled easy phase (window 2).
+        assert!(
+            report.windows[3].drift > report.windows[2].drift,
+            "drift w3 {} w2 {}",
+            report.windows[3].drift,
+            report.windows[2].drift
+        );
+        // The estimator re-converges by the last window.
+        assert!(
+            report.windows[5].drift < report.windows[3].drift,
+            "w5 {} w3 {}",
+            report.windows[5].drift,
+            report.windows[3].drift
+        );
+    }
+
+    #[test]
+    fn wrapper_improves_goodput() {
+        let mk = |wrapper| {
+            let sys = E3System::new(
+                zoo::deebert(),
+                zoo::default_policy("DeeBERT"),
+                ClusterSpec::paper_homogeneous_v100(),
+                E3Config {
+                    use_wrapper: wrapper,
+                    ..small_cfg()
+                },
+            );
+            let r = sys.run_stationary(&DatasetModel::sst2(), 4);
+            r.windows.last().expect("windows").run.goodput()
+        };
+        let with = mk(true);
+        let without = mk(false);
+        assert!(
+            with > without,
+            "wrapper {with} vs plain {without}"
+        );
+    }
+
+    #[test]
+    fn measured_profile_is_sane() {
+        let m = zoo::deebert();
+        let ctrl = RampController::all_enabled(m.num_ramps(), zoo::default_policy("DeeBERT").ramp_style());
+        let p = measure_profile(
+            &m,
+            &zoo::default_policy("DeeBERT"),
+            &ctrl,
+            &InferenceSim::new(),
+            &DatasetModel::sst2(),
+            3000,
+            1,
+        );
+        assert_eq!(p.num_layers(), 12);
+        assert!(p.survival_at(12) < 0.5, "most samples exit early");
+    }
+}

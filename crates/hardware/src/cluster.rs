@@ -1,0 +1,240 @@
+//! Cluster topology: machines, the GPUs they host, and link selection.
+//!
+//! The paper's testbed is "a cluster with 46 GPUs spread across 26
+//! machines", each machine holding one or more of {A6000, V100, P100, K80},
+//! PCIe within a machine and 10 GbE between machines. [`ClusterSpec`]
+//! captures exactly that, plus the preset clusters used by the evaluation.
+
+use std::collections::BTreeMap;
+
+use crate::gpu::GpuKind;
+use crate::interconnect::LinkKind;
+
+/// One GPU in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpuInstance {
+    /// Cluster-unique identifier (dense, 0-based).
+    pub id: usize,
+    /// Which machine hosts this device.
+    pub machine: usize,
+    /// Device model.
+    pub kind: GpuKind,
+}
+
+/// One server and its devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineSpec {
+    /// GPUs installed in this machine.
+    pub gpus: Vec<GpuKind>,
+}
+
+/// A full cluster description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSpec {
+    machines: Vec<MachineSpec>,
+    gpus: Vec<GpuInstance>,
+}
+
+impl ClusterSpec {
+    /// Builds a cluster from per-machine GPU lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster would contain no GPUs.
+    pub fn new(machines: Vec<MachineSpec>) -> Self {
+        let mut gpus = Vec::new();
+        for (m, spec) in machines.iter().enumerate() {
+            for kind in &spec.gpus {
+                gpus.push(GpuInstance {
+                    id: gpus.len(),
+                    machine: m,
+                    kind: *kind,
+                });
+            }
+        }
+        assert!(!gpus.is_empty(), "cluster must contain at least one GPU");
+        ClusterSpec { machines, gpus }
+    }
+
+    /// A homogeneous cluster of `n` GPUs of one kind, `per_machine` GPUs
+    /// per server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `per_machine == 0`.
+    pub fn homogeneous(kind: GpuKind, n: usize, per_machine: usize) -> Self {
+        assert!(n > 0 && per_machine > 0, "empty cluster");
+        let mut machines = Vec::new();
+        let mut left = n;
+        while left > 0 {
+            let take = left.min(per_machine);
+            machines.push(MachineSpec {
+                gpus: vec![kind; take],
+            });
+            left -= take;
+        }
+        ClusterSpec::new(machines)
+    }
+
+    /// The paper's homogeneous evaluation cluster: 16 V100s, two per
+    /// machine (§5.1.1).
+    pub fn paper_homogeneous_v100() -> Self {
+        ClusterSpec::homogeneous(GpuKind::V100, 16, 2)
+    }
+
+    /// The paper's equal-cost heterogeneous cluster: 6 V100 + 8 P100 +
+    /// 15 K80 (§5.2), spread over machines of two devices each.
+    pub fn paper_heterogeneous() -> Self {
+        let mut machines = Vec::new();
+        let mut push_pairs = |kind: GpuKind, n: usize| {
+            let mut left = n;
+            while left > 0 {
+                let take = left.min(2);
+                machines.push(MachineSpec {
+                    gpus: vec![kind; take],
+                });
+                left -= take;
+            }
+        };
+        push_pairs(GpuKind::V100, 6);
+        push_pairs(GpuKind::P100, 8);
+        push_pairs(GpuKind::K80, 15);
+        ClusterSpec::new(machines)
+    }
+
+    /// The paper's full testbed: 46 GPUs across 26 machines
+    /// (4 A6000 + 16 V100 + 11 P100 + 15 K80).
+    pub fn paper_full_testbed() -> Self {
+        let mut machines = Vec::new();
+        let mut push = |kind: GpuKind, n: usize, per: usize| {
+            let mut left = n;
+            while left > 0 {
+                let take = left.min(per);
+                machines.push(MachineSpec {
+                    gpus: vec![kind; take],
+                });
+                left -= take;
+            }
+        };
+        push(GpuKind::A6000, 4, 2);
+        push(GpuKind::V100, 16, 2);
+        push(GpuKind::P100, 11, 2);
+        push(GpuKind::K80, 15, 2);
+        let c = ClusterSpec::new(machines);
+        debug_assert_eq!(c.num_gpus(), 46);
+        c
+    }
+
+    /// The 4×A6000 cluster of the LLM experiments (§5.1.3).
+    pub fn paper_llm_cluster() -> Self {
+        ClusterSpec::homogeneous(GpuKind::A6000, 4, 2)
+    }
+
+    /// All GPU instances, id-ordered.
+    pub fn gpus(&self) -> &[GpuInstance] {
+        &self.gpus
+    }
+
+    /// All machines.
+    pub fn machines(&self) -> &[MachineSpec] {
+        &self.machines
+    }
+
+    /// Total GPU count.
+    pub fn num_gpus(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Count of GPUs per kind, in capability order.
+    pub fn gpu_counts(&self) -> BTreeMap<GpuKind, usize> {
+        let mut counts = BTreeMap::new();
+        for g in &self.gpus {
+            *counts.entry(g.kind).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The distinct GPU kinds present.
+    pub fn kinds(&self) -> Vec<GpuKind> {
+        self.gpu_counts().into_keys().collect()
+    }
+
+    /// Total dollar cost per second of keeping every device allocated.
+    pub fn cost_per_sec(&self) -> f64 {
+        self.gpus.iter().map(|g| g.kind.cost_per_sec()).sum()
+    }
+
+    /// The link between two GPUs: local, PCIe (same machine), or Ethernet.
+    pub fn link_between(&self, a: usize, b: usize) -> LinkKind {
+        if a == b {
+            LinkKind::Local
+        } else if self.gpus[a].machine == self.gpus[b].machine {
+            LinkKind::Pcie
+        } else {
+            LinkKind::Ethernet10G
+        }
+    }
+
+    /// True if the cluster contains more than one GPU kind.
+    pub fn is_heterogeneous(&self) -> bool {
+        self.kinds().len() > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_builder_counts() {
+        let c = ClusterSpec::homogeneous(GpuKind::V100, 5, 2);
+        assert_eq!(c.num_gpus(), 5);
+        assert_eq!(c.machines().len(), 3);
+        assert_eq!(c.machines()[2].gpus.len(), 1);
+        assert!(!c.is_heterogeneous());
+    }
+
+    #[test]
+    fn paper_clusters_have_equal_cost() {
+        let homo = ClusterSpec::paper_homogeneous_v100();
+        let hetero = ClusterSpec::paper_heterogeneous();
+        assert!((homo.cost_per_sec() - 0.013).abs() < 1e-9);
+        assert!((hetero.cost_per_sec() - 0.013).abs() < 1e-9);
+        assert_eq!(hetero.num_gpus(), 29);
+        assert!(hetero.is_heterogeneous());
+    }
+
+    #[test]
+    fn full_testbed_matches_paper_scale() {
+        let c = ClusterSpec::paper_full_testbed();
+        assert_eq!(c.num_gpus(), 46);
+        assert!(c.machines().len() <= 26);
+        let counts = c.gpu_counts();
+        assert_eq!(counts[&GpuKind::A6000], 4);
+        assert_eq!(counts[&GpuKind::V100], 16);
+        assert_eq!(counts[&GpuKind::P100], 11);
+        assert_eq!(counts[&GpuKind::K80], 15);
+    }
+
+    #[test]
+    fn links_follow_topology() {
+        let c = ClusterSpec::homogeneous(GpuKind::V100, 4, 2);
+        assert_eq!(c.link_between(0, 0), LinkKind::Local);
+        assert_eq!(c.link_between(0, 1), LinkKind::Pcie);
+        assert_eq!(c.link_between(0, 2), LinkKind::Ethernet10G);
+    }
+
+    #[test]
+    fn gpu_ids_are_dense() {
+        let c = ClusterSpec::paper_heterogeneous();
+        for (i, g) in c.gpus().iter().enumerate() {
+            assert_eq!(g.id, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn empty_cluster_rejected() {
+        let _ = ClusterSpec::homogeneous(GpuKind::V100, 0, 2);
+    }
+}

@@ -1,0 +1,446 @@
+//! Synthetic inference semantics.
+//!
+//! Real EE-DNNs decide exits from logits; we have no weights, so we model
+//! the *statistical process* that drives everything E3 observes. Each
+//! sample carries a latent **hardness** `h ∈ [0,1]`, interpreted as the
+//! fraction of the model's depth required before its prediction
+//! stabilizes (`d* = h · L` layers). At the ramp after layer `l` we form a
+//! noisy *stabilization margin*
+//!
+//! ```text
+//! x = k · ((l + 1) − d*) + ε,   ε ~ N(0, σ²)
+//! ```
+//!
+//! and derive every observable a real ramp would expose:
+//!
+//! * normalized entropy `= σ(−x)` — high before stabilization, →0 after;
+//! * confidence `= 1/C + (1 − 1/C) · σ(x)`;
+//! * predicted class — the sample's final class with probability
+//!   `0.5 + 0.5·σ(x)`, otherwise a random other class (this is what makes
+//!   patience/voting policies behave realistically);
+//! * learned-gate score `= σ(x)`.
+//!
+//! Correctness: completing the full model is correct with the dataset's
+//! base accuracy; exiting at a ramp adds a small fixed EE loss (ramp
+//! classifiers are weaker than the final head) plus a penalty growing
+//! with how far *before* its stabilization depth the sample left. The
+//! constants are calibrated to fig. 2: entropy threshold 0.4 yields
+//! ≈40–45% average compute saving at <2% accuracy loss on easy-skewed
+//! workloads, and the 0.3/0.4/0.5 sweep of fig. 23 shifts exits by about
+//! ±1 layer.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::model::{EeModel, Task};
+use crate::policy::{ExitPolicy, RampObservation, SampleExitState};
+use crate::profile::BatchProfile;
+use crate::wrapper::RampController;
+use e3_simcore::rng::normal_sample;
+
+/// Result of pushing one sample (or one generated token, for
+/// autoregressive models) through an EE-DNN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceOutcome {
+    /// Number of layers executed (== `num_layers` when no exit fired).
+    pub layers_executed: usize,
+    /// Index (into the model's ramp list) of the ramp the sample exited
+    /// at, or `None` if it ran to completion.
+    pub exited_at_ramp: Option<usize>,
+    /// Whether the final prediction was correct under the synthetic
+    /// accuracy model.
+    pub correct: bool,
+    /// Ramp indices whose checking cost was paid.
+    pub ramps_paid: Vec<usize>,
+}
+
+/// The synthetic inference engine. One instance per experiment; methods
+/// are pure given the RNG.
+#[derive(Debug, Clone, Copy)]
+pub struct InferenceSim {
+    /// Margin steepness per layer (how sharply confidence rises once the
+    /// stabilization depth is passed).
+    pub steepness: f64,
+    /// Standard deviation of per-ramp margin noise.
+    pub ramp_noise_sd: f64,
+    /// Dataset accuracy ceiling when the full model runs.
+    pub base_accuracy: f64,
+    /// Fixed extra error for exiting at any ramp (ramp heads are weaker
+    /// than the final classifier).
+    pub ee_base_loss: f64,
+    /// Error penalty per *fraction of total depth* exited before the
+    /// sample's stabilization depth.
+    pub early_exit_penalty: f64,
+}
+
+impl Default for InferenceSim {
+    fn default() -> Self {
+        InferenceSim {
+            steepness: 0.8,
+            ramp_noise_sd: 0.25,
+            base_accuracy: 0.92,
+            ee_base_loss: 0.012,
+            early_exit_penalty: 0.15,
+        }
+    }
+}
+
+impl InferenceSim {
+    /// Calibrated default engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine with a specific dataset accuracy ceiling.
+    pub fn with_accuracy(base_accuracy: f64) -> Self {
+        InferenceSim {
+            base_accuracy,
+            ..Self::default()
+        }
+    }
+
+    /// The sample's stabilization depth in layers for a model of `layers`
+    /// relevant depth.
+    fn d_star(&self, hardness: f64, layers: usize) -> f64 {
+        hardness.clamp(0.0, 1.0) * layers as f64
+    }
+
+    /// Synthesizes the ramp observation at executed-depth `depth` (layers
+    /// completed so far) for a sample with stabilization depth `d_star`.
+    fn observe(
+        &self,
+        depth: f64,
+        d_star: f64,
+        num_classes: usize,
+        rng: &mut StdRng,
+    ) -> RampObservation {
+        let noise = normal_sample(rng) * self.ramp_noise_sd;
+        let x = self.steepness * (depth - d_star) + noise;
+        let s = sigmoid(x);
+        let inv_c = 1.0 / num_classes as f64;
+        let p_stable = 0.5 + 0.5 * s;
+        let predicted_class = if rng.gen::<f64>() < p_stable {
+            0
+        } else {
+            // A random wrong class; for C == 2 this is class 1.
+            1 + rng.gen_range(0..num_classes.max(2) - 1)
+        };
+        RampObservation {
+            entropy: sigmoid(-x),
+            confidence: inv_c + (1.0 - inv_c) * s,
+            predicted_class,
+            gate_score: s,
+        }
+    }
+
+    /// Runs one sample through the model under `policy` and `ctrl`.
+    ///
+    /// For [`Task::Generation`] models this simulates a *single token
+    /// pass*: the exit depth is measured within the decoder (layers after
+    /// the autoregressive encoder prefix), where all ramps live.
+    pub fn run_sample(
+        &self,
+        model: &EeModel,
+        policy: &ExitPolicy,
+        ctrl: &RampController,
+        hardness: f64,
+        rng: &mut StdRng,
+    ) -> InferenceOutcome {
+        assert_eq!(
+            ctrl.num_ramps(),
+            model.num_ramps(),
+            "ramp controller does not match model"
+        );
+        let prefix = match model.task() {
+            Task::Generation { .. } => model.autoreg().map_or(0, |a| a.encoder_layers),
+            Task::Classification { .. } => 0,
+        };
+        let depth_span = model.num_layers() - prefix;
+        let d_star = self.d_star(hardness, depth_span);
+        let mut state = SampleExitState::new();
+        let mut ramps_paid = Vec::new();
+
+        for (i, ramp) in model.ramps().iter().enumerate() {
+            if !ctrl.pays_cost_at(i) && !ctrl.can_exit_at(i) {
+                continue; // independent + disabled: fully skipped
+            }
+            if ctrl.pays_cost_at(i) {
+                ramps_paid.push(i);
+            }
+            let depth = (ramp.after_layer + 1).saturating_sub(prefix) as f64;
+            let obs = self.observe(depth, d_star, model.num_classes(), rng);
+            let wants_exit = if ctrl.advances_state_at(i) || ctrl.can_exit_at(i) {
+                state.observe(policy, &obs)
+            } else {
+                false
+            };
+            if wants_exit && ctrl.can_exit_at(i) {
+                let exit_depth = depth;
+                let correct = self.draw_correct(exit_depth, d_star, depth_span, true, rng);
+                return InferenceOutcome {
+                    layers_executed: ramp.after_layer + 1,
+                    exited_at_ramp: Some(i),
+                    correct,
+                    ramps_paid,
+                };
+            }
+        }
+        let correct = self.draw_correct(depth_span as f64, d_star, depth_span, false, rng);
+        InferenceOutcome {
+            layers_executed: model.num_layers(),
+            exited_at_ramp: None,
+            correct,
+            ramps_paid,
+        }
+    }
+
+    fn draw_correct(
+        &self,
+        exit_depth: f64,
+        d_star: f64,
+        depth_span: usize,
+        via_ramp: bool,
+        rng: &mut StdRng,
+    ) -> bool {
+        let mut p = self.base_accuracy;
+        if via_ramp {
+            p -= self.ee_base_loss;
+            let early = (d_star - exit_depth).max(0.0) / depth_span.max(1) as f64;
+            p -= self.early_exit_penalty * early;
+        }
+        rng.gen::<f64>() < p.clamp(0.0, 1.0)
+    }
+
+    /// Monte-Carlo estimate of the batch-shrinkage profile for a hardness
+    /// population: runs each hardness through the model and bins exits per
+    /// layer. This is "ground truth" the online profiler tries to track.
+    pub fn exit_profile(
+        &self,
+        model: &EeModel,
+        policy: &ExitPolicy,
+        ctrl: &RampController,
+        hardnesses: &[f64],
+        rng: &mut StdRng,
+    ) -> BatchProfile {
+        let mut exits_after = vec![0.0; model.num_layers()];
+        for &h in hardnesses {
+            let out = self.run_sample(model, policy, ctrl, h, rng);
+            if let Some(r) = out.exited_at_ramp {
+                exits_after[model.ramps()[r].after_layer] += 1.0;
+            }
+        }
+        BatchProfile::from_exit_counts(&exits_after, hardnesses.len().max(1) as f64)
+    }
+
+    /// Mean accuracy and mean executed-depth fraction over a hardness
+    /// population — the two axes of fig. 2.
+    pub fn accuracy_and_depth(
+        &self,
+        model: &EeModel,
+        policy: &ExitPolicy,
+        ctrl: &RampController,
+        hardnesses: &[f64],
+        rng: &mut StdRng,
+    ) -> (f64, f64) {
+        if hardnesses.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mut correct = 0usize;
+        let mut depth = 0usize;
+        for &h in hardnesses {
+            let out = self.run_sample(model, policy, ctrl, h, rng);
+            correct += usize::from(out.correct);
+            depth += out.layers_executed;
+        }
+        let n = hardnesses.len() as f64;
+        (
+            correct as f64 / n,
+            depth as f64 / (n * model.num_layers() as f64),
+        )
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LayerSpec, RampSpec};
+    use crate::wrapper::RampStyle;
+    use rand::SeedableRng;
+
+    fn bert_like(layers: usize) -> EeModel {
+        let layer = LayerSpec {
+            work_us: 767.0,
+            fixed_us: 98.0,
+            output_bytes: 393_216,
+        };
+        let ramps = (0..layers - 1)
+            .map(|l| RampSpec {
+                after_layer: l,
+                work_us: 100.0,
+                fixed_us: 10.0,
+            })
+            .collect();
+        EeModel::new(
+            "test-bert",
+            vec![layer; layers],
+            ramps,
+            Task::Classification { num_classes: 2 },
+            None,
+        )
+        .unwrap()
+    }
+
+    fn all_on(m: &EeModel) -> RampController {
+        RampController::all_enabled(m.num_ramps(), RampStyle::Independent)
+    }
+
+    /// An easy-skewed hardness population (roughly the paper's 80E/20H).
+    fn easy_mix(n: usize, rng: &mut StdRng) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                if rng.gen::<f64>() < 0.8 {
+                    e3_simcore::rng::beta_sample(rng, 2.0, 4.0) // easy
+                } else {
+                    0.7 + 0.3 * rng.gen::<f64>() // hard
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hard_samples_exit_later_than_easy() {
+        let m = bert_like(12);
+        let sim = InferenceSim::new();
+        let pol = ExitPolicy::Entropy { threshold: 0.4 };
+        let ctrl = all_on(&m);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut depth = |h: f64| -> f64 {
+            let n = 500;
+            (0..n)
+                .map(|_| {
+                    sim.run_sample(&m, &pol, &ctrl, h, &mut rng).layers_executed as f64
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        let easy = depth(0.2);
+        let hard = depth(0.9);
+        assert!(easy < hard, "easy={easy} hard={hard}");
+        assert!(easy < 5.0, "easy samples should exit early: {easy}");
+        assert!(hard > 9.0, "hard samples should go deep: {hard}");
+    }
+
+    #[test]
+    fn entropy_threshold_sweep_shifts_exits() {
+        // fig. 23: higher entropy tolerance -> earlier exits.
+        let m = bert_like(12);
+        let sim = InferenceSim::new();
+        let ctrl = all_on(&m);
+        let mut rng = StdRng::seed_from_u64(2);
+        let hs = easy_mix(2000, &mut rng);
+        let mean_depth = |t: f64| {
+            let pol = ExitPolicy::Entropy { threshold: t };
+            let mut r = StdRng::seed_from_u64(3);
+            sim.accuracy_and_depth(&m, &pol, &ctrl, &hs, &mut r).1
+        };
+        let d03 = mean_depth(0.3);
+        let d04 = mean_depth(0.4);
+        let d05 = mean_depth(0.5);
+        assert!(d05 < d04 && d04 < d03, "depths: {d03} {d04} {d05}");
+    }
+
+    #[test]
+    fn calibration_matches_fig2_anchors() {
+        // Entropy 0.4 on an easy-skewed mix: ~40-60% mean depth, <2%
+        // accuracy loss versus running the full model.
+        let m = bert_like(12);
+        let sim = InferenceSim::with_accuracy(0.924);
+        let ctrl = all_on(&m);
+        let pol = ExitPolicy::Entropy { threshold: 0.4 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let hs = easy_mix(5000, &mut rng);
+        let (acc, depth) = sim.accuracy_and_depth(&m, &pol, &ctrl, &hs, &mut rng);
+        assert!((0.40..0.65).contains(&depth), "depth={depth}");
+        assert!(acc > 0.924 - 0.02, "acc={acc}");
+        // Stock model for comparison: full depth, full accuracy.
+        let stock = m.without_exits();
+        let ctrl0 = RampController::all_enabled(0, RampStyle::Independent);
+        let (acc0, depth0) = sim.accuracy_and_depth(&stock, &pol, &ctrl0, &hs, &mut rng);
+        assert_eq!(depth0, 1.0);
+        assert!(acc0 > acc, "stock must be at least as accurate");
+    }
+
+    #[test]
+    fn disabled_ramps_are_not_paid_and_defer_exits() {
+        let m = bert_like(12);
+        let sim = InferenceSim::new();
+        let pol = ExitPolicy::Entropy { threshold: 0.4 };
+        let mut ctrl = all_on(&m);
+        ctrl.keep_only(&[5, 10]); // boundary ramps only
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let out = sim.run_sample(&m, &pol, &ctrl, 0.1, &mut rng);
+            assert!(out.ramps_paid.iter().all(|r| [5, 10].contains(r)));
+            if let Some(r) = out.exited_at_ramp {
+                assert!([5, 10].contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn patience_policy_needs_consecutive_ramps() {
+        let m = bert_like(12);
+        let sim = InferenceSim::new();
+        let pol = ExitPolicy::Patience { patience: 6 };
+        let ctrl = RampController::all_enabled(m.num_ramps(), RampStyle::Dependent);
+        let mut rng = StdRng::seed_from_u64(6);
+        // Even the easiest sample cannot exit before `patience` ramps.
+        for _ in 0..100 {
+            let out = sim.run_sample(&m, &pol, &ctrl, 0.0, &mut rng);
+            assert!(out.layers_executed >= 6);
+        }
+    }
+
+    #[test]
+    fn exit_profile_monotone_and_matches_depths() {
+        let m = bert_like(12);
+        let sim = InferenceSim::new();
+        let pol = ExitPolicy::Entropy { threshold: 0.4 };
+        let ctrl = all_on(&m);
+        let mut rng = StdRng::seed_from_u64(7);
+        let hs = easy_mix(3000, &mut rng);
+        let prof = sim.exit_profile(&m, &pol, &ctrl, &hs, &mut rng);
+        assert_eq!(prof.num_layers(), 12);
+        // Roughly half the batch should be gone by mid-model (fig. 3).
+        let mid = prof.survival_at(6);
+        assert!((0.2..0.7).contains(&mid), "mid-model survival={mid}");
+    }
+
+    #[test]
+    fn stock_model_never_exits() {
+        let m = bert_like(12).without_exits();
+        let sim = InferenceSim::new();
+        let pol = ExitPolicy::Entropy { threshold: 0.4 };
+        let ctrl = RampController::all_enabled(0, RampStyle::Independent);
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = sim.run_sample(&m, &pol, &ctrl, 0.0, &mut rng);
+        assert_eq!(out.layers_executed, 12);
+        assert_eq!(out.exited_at_ramp, None);
+        assert!(out.ramps_paid.is_empty());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let m = bert_like(12);
+        let sim = InferenceSim::new();
+        let pol = ExitPolicy::Entropy { threshold: 0.4 };
+        let ctrl = all_on(&m);
+        let a = sim.run_sample(&m, &pol, &ctrl, 0.5, &mut StdRng::seed_from_u64(9));
+        let b = sim.run_sample(&m, &pol, &ctrl, 0.5, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,534 @@
+//! Heterogeneity-aware split optimization (§3.2.3, fig. 6).
+//!
+//! The paper's final formulation lets every split choose a GPU
+//! configuration, constrained so a split's replicas share one kind. A
+//! literal DP over the 4-dimensional GPU-count vector is exact but
+//! needlessly large; because the number of useful splits is tiny (the
+//! paper's deployments cut once or twice), we solve the same optimum by:
+//!
+//! 1. enumerating split-boundary sets with at most `max_splits` stages;
+//! 2. enumerating each stage's GPU kind (|kinds|^stages combinations);
+//! 3. allocating replica counts within each kind by *waterfilling* —
+//!    repeatedly granting a GPU to the stage with the largest current
+//!    per-replica effective time, which is optimal for minimizing the
+//!    maximum (the pipeline bottleneck).
+//!
+//! The same machinery answers the cost question of §5.3: given a target
+//! goodput, each stage needs `ceil(t_eff / λ*)` replicas where
+//! `λ* = b0 / goodput`, and we take the cheapest feasible assignment.
+
+use std::collections::BTreeMap;
+
+use e3_hardware::{GpuKind, LatencyModel, TransferModel};
+use e3_model::{BatchProfile, EeModel, RampController};
+
+use crate::config::OptimizerConfig;
+use crate::dp::build_plan_hetero;
+use crate::plan::SplitPlan;
+use crate::stage::{boundary_transfer_surviving, stage_cost};
+
+/// Enumerates boundary sets: sorted interior cut positions in `1..l`,
+/// with at most `max_stages - 1` cuts. Includes the empty set (1 stage).
+pub(crate) fn boundary_sets(l: usize, max_stages: usize) -> Vec<Vec<usize>> {
+    fn rec(
+        l: usize,
+        start: usize,
+        left: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if left == 0 {
+            return;
+        }
+        for b in start..l {
+            current.push(b);
+            out.push(current.clone());
+            rec(l, b + 1, left - 1, current, out);
+            current.pop();
+        }
+    }
+    let mut out = vec![vec![]];
+    let mut current = Vec::new();
+    rec(l, 1, max_stages.saturating_sub(1), &mut current, &mut out);
+    out
+}
+
+/// Converts a boundary set into stage ranges.
+fn stages_of(l: usize, cuts: &[usize]) -> Vec<(usize, usize)> {
+    let mut stages = Vec::with_capacity(cuts.len() + 1);
+    let mut prev = 0;
+    for &c in cuts {
+        stages.push((prev, c));
+        prev = c;
+    }
+    stages.push((prev, l));
+    stages
+}
+
+/// Waterfills `extra` GPUs across stages (each already holding one),
+/// minimizing the maximum of `work[i] / m[i]`. Returns per-stage counts.
+fn waterfill(work: &[f64], mut extra: usize) -> Vec<usize> {
+    let mut m = vec![1usize; work.len()];
+    while extra > 0 {
+        let (i, _) = work
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i, w / m[i] as f64))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("nonempty");
+        m[i] += 1;
+        extra -= 1;
+    }
+    m
+}
+
+/// Advances an odometer over `base^len`; returns `false` on wrap-around.
+fn next_assignment(assign: &mut [usize], base: usize) -> bool {
+    for slot in assign.iter_mut() {
+        *slot += 1;
+        if *slot < base {
+            return true;
+        }
+        *slot = 0;
+    }
+    false
+}
+
+/// Maximizes goodput on a heterogeneous pool: `counts` gives the number
+/// of available GPUs per kind. Returns the bottleneck-optimal plan (ties
+/// broken by lower cost).
+///
+/// With `cfg.pipelining == false`, heterogeneous placement offers no
+/// advantage (all splits run serially on the same devices), so the best
+/// single-kind serial plan is returned instead.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_heterogeneous(
+    model: &EeModel,
+    ctrl: &RampController,
+    profile: &BatchProfile,
+    counts: &BTreeMap<GpuKind, usize>,
+    b0: f64,
+    tm: &TransferModel,
+    lm: &LatencyModel,
+    cfg: &OptimizerConfig,
+) -> SplitPlan {
+    assert!(b0 > 0.0, "batch must be positive");
+    let kinds: Vec<(GpuKind, usize)> = counts
+        .iter()
+        .filter(|(_, n)| **n > 0)
+        .map(|(k, n)| (*k, *n))
+        .collect();
+    assert!(!kinds.is_empty(), "no GPUs available");
+
+    if !cfg.pipelining {
+        // Serial mode cannot exploit heterogeneity; take the best
+        // homogeneous serial plan over the available kinds.
+        return kinds
+            .iter()
+            .map(|&(k, n)| {
+                crate::dp::optimize_homogeneous(model, ctrl, profile, k, n, b0, tm, lm, cfg)
+            })
+            .max_by(|a, b| a.goodput.partial_cmp(&b.goodput).expect("finite"))
+            .expect("nonempty kinds");
+    }
+
+    let l = model.num_layers();
+    // (bottleneck, cost, stages)
+    let mut best: Option<(f64, f64, Vec<(usize, usize, usize, GpuKind)>)> = None;
+
+    for cuts in boundary_sets(l, cfg.max_splits.max(1)) {
+        let stages = stages_of(l, &cuts);
+        let s = stages.len();
+        // Per-stage, per-kind one-replica effective time (seconds).
+        let t1: Vec<Vec<f64>> = stages
+            .iter()
+            .map(|&(a, b)| {
+                kinds
+                    .iter()
+                    .map(|&(k, _)| {
+                        stage_cost(model, ctrl, profile, a..b, b0, k, 1, lm)
+                            .effective_time
+                            .as_secs_f64()
+                    })
+                    .collect()
+            })
+            .collect();
+        // Surviving-batch transfer entering each stage i >= 1; amortized
+        // over the receiving stage's replica count once allocated.
+        let tx_in: Vec<f64> = stages
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, _))| {
+                if i == 0 {
+                    0.0
+                } else {
+                    boundary_transfer_surviving(model, profile, a, b0, tm).as_secs_f64()
+                }
+            })
+            .collect();
+
+        let mut assign = vec![0usize; s];
+        loop {
+            // Group stages by kind and waterfill within each group.
+            let mut feasible = true;
+            let mut bottleneck = 0.0f64;
+            let mut cost = 0.0;
+            let mut stage_m = vec![0usize; s];
+            for (ki, &(kind, avail)) in kinds.iter().enumerate() {
+                let group: Vec<usize> = (0..s).filter(|&i| assign[i] == ki).collect();
+                if group.is_empty() {
+                    continue;
+                }
+                if group.len() > avail {
+                    feasible = false;
+                    break;
+                }
+                let work: Vec<f64> = group.iter().map(|&i| t1[i][ki]).collect();
+                let ms = waterfill(&work, avail - group.len());
+                for (gi, &i) in group.iter().enumerate() {
+                    stage_m[i] = ms[gi];
+                    bottleneck = bottleneck
+                        .max(t1[i][ki] / ms[gi] as f64)
+                        .max(tx_in[i] / ms[gi] as f64);
+                    cost += ms[gi] as f64 * kind.cost_per_sec();
+                }
+            }
+            if feasible {
+                if let Some(cap) = cfg.max_cost_per_sec {
+                    if cost > cap + 1e-12 {
+                        feasible = false;
+                    }
+                }
+            }
+            if feasible {
+                // Same realization penalty per extra stage as the
+                // homogeneous DP (see OptimizerConfig::stage_overhead_frac).
+                let penalized =
+                    bottleneck * (1.0 + cfg.stage_overhead_frac * (s as f64 - 1.0));
+                let better = match &best {
+                    None => true,
+                    Some((bb, bc, _)) => {
+                        penalized < bb - 1e-12
+                            || ((penalized - bb).abs() <= 1e-12 && cost < *bc)
+                    }
+                };
+                if better {
+                    let built: Vec<(usize, usize, usize, GpuKind)> = stages
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &(a, b))| (a, b, stage_m[i], kinds[assign[i]].0))
+                        .collect();
+                    best = Some((penalized, cost, built));
+                }
+            }
+            if !next_assignment(&mut assign, kinds.len()) {
+                break;
+            }
+        }
+    }
+
+    let (_, _, stages) = best.expect("at least the single-stage plan is feasible");
+    build_plan_hetero(model, ctrl, profile, b0, tm, lm, cfg, &stages, true)
+}
+
+/// Minimizes dollar cost subject to a goodput target on a heterogeneous
+/// pool. Returns `None` when the target is unreachable even using every
+/// GPU.
+#[allow(clippy::too_many_arguments)]
+pub fn min_cost_plan(
+    model: &EeModel,
+    ctrl: &RampController,
+    profile: &BatchProfile,
+    counts: &BTreeMap<GpuKind, usize>,
+    b0: f64,
+    target_goodput: f64,
+    tm: &TransferModel,
+    lm: &LatencyModel,
+    cfg: &OptimizerConfig,
+) -> Option<SplitPlan> {
+    assert!(target_goodput > 0.0, "target must be positive");
+    let kinds: Vec<(GpuKind, usize)> = counts
+        .iter()
+        .filter(|(_, n)| **n > 0)
+        .map(|(k, n)| (*k, *n))
+        .collect();
+    if kinds.is_empty() {
+        return None;
+    }
+    let l = model.num_layers();
+    let lambda = b0 / target_goodput; // required bottleneck in seconds
+    let mut best: Option<(f64, Vec<(usize, usize, usize, GpuKind)>)> = None;
+
+    for cuts in boundary_sets(l, cfg.max_splits.max(1)) {
+        let stages = stages_of(l, &cuts);
+        let s = stages.len();
+        let t1: Vec<Vec<f64>> = stages
+            .iter()
+            .map(|&(a, b)| {
+                kinds
+                    .iter()
+                    .map(|&(k, _)| {
+                        stage_cost(model, ctrl, profile, a..b, b0, k, 1, lm)
+                            .effective_time
+                            .as_secs_f64()
+                    })
+                    .collect()
+            })
+            .collect();
+        let tx_in: Vec<f64> = stages
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, _))| {
+                if i == 0 {
+                    0.0
+                } else {
+                    boundary_transfer_surviving(model, profile, a, b0, tm).as_secs_f64()
+                }
+            })
+            .collect();
+        let mut assign = vec![0usize; s];
+        loop {
+            let mut feasible = true;
+            let mut cost = 0.0;
+            let mut per_kind_used = vec![0usize; kinds.len()];
+            let mut stage_m = vec![0usize; s];
+            for i in 0..s {
+                let ki = assign[i];
+                // Enough replicas to meet the bottleneck for both compute
+                // and the incoming (replica-amortized) transfer.
+                let need = (t1[i][ki].max(tx_in[i]) / lambda).ceil().max(1.0) as usize;
+                per_kind_used[ki] += need;
+                if per_kind_used[ki] > kinds[ki].1 {
+                    feasible = false;
+                    break;
+                }
+                stage_m[i] = need;
+                cost += need as f64 * kinds[ki].0.cost_per_sec();
+            }
+            if feasible {
+                let better = best.as_ref().map_or(true, |(bc, _)| cost < *bc);
+                if better {
+                    let built: Vec<(usize, usize, usize, GpuKind)> = stages
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &(a, b))| (a, b, stage_m[i], kinds[assign[i]].0))
+                        .collect();
+                    best = Some((cost, built));
+                }
+            }
+            if !next_assignment(&mut assign, kinds.len()) {
+                break;
+            }
+        }
+    }
+
+    best.map(|(_, stages)| build_plan_hetero(model, ctrl, profile, b0, tm, lm, cfg, &stages, true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e3_model::{zoo, RampStyle};
+
+    fn half_by_six() -> BatchProfile {
+        let mut surv = vec![1.0];
+        for k in 1..=12 {
+            let s = if k <= 6 {
+                1.0 - 0.5 * (k as f64 / 6.0)
+            } else {
+                0.5 - 0.1 * ((k - 6) as f64 / 6.0)
+            };
+            surv.push(s);
+        }
+        BatchProfile::new(surv)
+    }
+
+    fn paper_hetero_counts() -> BTreeMap<GpuKind, usize> {
+        let mut c = BTreeMap::new();
+        c.insert(GpuKind::V100, 6);
+        c.insert(GpuKind::P100, 8);
+        c.insert(GpuKind::K80, 15);
+        c
+    }
+
+    fn setup() -> (
+        e3_model::EeModel,
+        RampController,
+        LatencyModel,
+        TransferModel,
+    ) {
+        let m = zoo::deebert();
+        let c = RampController::all_enabled(m.num_ramps(), RampStyle::Independent);
+        (m, c, LatencyModel::new(), TransferModel::default())
+    }
+
+    #[test]
+    fn boundary_sets_counts() {
+        // 4 layers, up to 3 stages: {} + C(3,1) + C(3,2) = 1 + 3 + 3.
+        let sets = boundary_sets(4, 3);
+        assert_eq!(sets.len(), 7);
+        assert!(sets.contains(&vec![]));
+        assert!(sets.contains(&vec![1, 3]));
+        for s in &sets {
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+            assert!(s.iter().all(|&b| b >= 1 && b < 4));
+        }
+    }
+
+    #[test]
+    fn waterfill_minimizes_max() {
+        // max(4/3, 2/2) = 1.33 beats max(4/4, 2/1) = 2.0.
+        let m = waterfill(&[4.0, 2.0], 3);
+        assert_eq!(m.iter().sum::<usize>(), 5);
+        assert_eq!(m, vec![3, 2]);
+    }
+
+    #[test]
+    fn hetero_plan_is_valid_and_productive() {
+        let (m, c, lm, tm) = setup();
+        let plan = optimize_heterogeneous(
+            &m,
+            &c,
+            &half_by_six(),
+            &paper_hetero_counts(),
+            8.0,
+            &tm,
+            &lm,
+            &OptimizerConfig::default(),
+        );
+        plan.assert_valid(12);
+        assert!(plan.goodput > 0.0);
+        assert!(plan.gpus_used() >= 6, "{plan}");
+    }
+
+    #[test]
+    fn hetero_beats_or_matches_v100_subset() {
+        let (m, c, lm, tm) = setup();
+        let cfg = OptimizerConfig::default();
+        let profile = half_by_six();
+        let hetero = optimize_heterogeneous(
+            &m,
+            &c,
+            &profile,
+            &paper_hetero_counts(),
+            8.0,
+            &tm,
+            &lm,
+            &cfg,
+        );
+        let v100_only = crate::dp::optimize_homogeneous(
+            &m,
+            &c,
+            &profile,
+            GpuKind::V100,
+            6,
+            8.0,
+            &tm,
+            &lm,
+            &cfg,
+        );
+        assert!(
+            hetero.goodput >= v100_only.goodput - 1e-6,
+            "hetero {} < v100-only {}",
+            hetero.goodput,
+            v100_only.goodput
+        );
+    }
+
+    #[test]
+    fn single_kind_pool_matches_homogeneous_objective() {
+        let (m, c, lm, tm) = setup();
+        let cfg = OptimizerConfig::default();
+        let mut counts = BTreeMap::new();
+        counts.insert(GpuKind::V100, 16);
+        let hetero = optimize_heterogeneous(&m, &c, &half_by_six(), &counts, 8.0, &tm, &lm, &cfg);
+        let homo = crate::dp::optimize_homogeneous(
+            &m,
+            &c,
+            &half_by_six(),
+            GpuKind::V100,
+            16,
+            8.0,
+            &tm,
+            &lm,
+            &cfg,
+        );
+        assert!(
+            (hetero.goodput - homo.goodput).abs() / homo.goodput < 0.05,
+            "hetero {} homo {}",
+            hetero.goodput,
+            homo.goodput
+        );
+    }
+
+    #[test]
+    fn min_cost_meets_target_cheaper_than_full_pool() {
+        let (m, c, lm, tm) = setup();
+        let cfg = OptimizerConfig::default();
+        let counts = paper_hetero_counts();
+        let full =
+            optimize_heterogeneous(&m, &c, &half_by_six(), &counts, 8.0, &tm, &lm, &cfg);
+        let target = full.goodput * 0.5;
+        let cheap = min_cost_plan(
+            &m,
+            &c,
+            &half_by_six(),
+            &counts,
+            8.0,
+            target,
+            &tm,
+            &lm,
+            &cfg,
+        )
+        .expect("target reachable");
+        assert!(cheap.goodput >= target * 0.99, "{}", cheap.goodput);
+        assert!(
+            cheap.cost_per_sec() < full.cost_per_sec(),
+            "cheap {} full {}",
+            cheap.cost_per_sec(),
+            full.cost_per_sec()
+        );
+    }
+
+    #[test]
+    fn min_cost_unreachable_returns_none() {
+        let (m, c, lm, tm) = setup();
+        let cfg = OptimizerConfig::default();
+        let mut counts = BTreeMap::new();
+        counts.insert(GpuKind::K80, 1);
+        let plan = min_cost_plan(
+            &m,
+            &c,
+            &half_by_six(),
+            &counts,
+            8.0,
+            1.0e9,
+            &tm,
+            &lm,
+            &cfg,
+        );
+        assert!(plan.is_none());
+    }
+
+    #[test]
+    fn serial_mode_falls_back_to_best_kind() {
+        let (m, c, lm, tm) = setup();
+        let cfg = OptimizerConfig {
+            pipelining: false,
+            ..Default::default()
+        };
+        let plan = optimize_heterogeneous(
+            &m,
+            &c,
+            &half_by_six(),
+            &paper_hetero_counts(),
+            8.0,
+            &tm,
+            &lm,
+            &cfg,
+        );
+        let kinds: std::collections::BTreeSet<_> = plan.splits.iter().map(|s| s.gpu).collect();
+        assert_eq!(kinds.len(), 1);
+        assert!(!plan.pipelined);
+    }
+}

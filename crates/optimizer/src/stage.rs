@@ -1,0 +1,252 @@
+//! Stage cost evaluation: the `T(i → j, c, m, B)` term of the paper's DP.
+//!
+//! A *stage* is one split running on one GPU kind. Its batch enters at
+//! the split boundary refused to the full input batch `b0`; inside the
+//! stage, exits shrink the expected batch according to the profile, and
+//! each surviving layer (plus every enabled ramp) is charged the
+//! latency-model cost at its expected batch size.
+//!
+//! The *effective* per-input-batch time of a stage divides by the replica
+//! count and multiplies by the stage's survival fraction: a stage that
+//! only 50% of samples reach needs to run only half a stage-batch per
+//! input batch, and `m` replicas share that work.
+
+use e3_hardware::{GpuKind, LatencyModel};
+use e3_model::{BatchProfile, EeModel, RampController};
+use e3_simcore::SimDuration;
+use std::ops::Range;
+
+/// Cost summary of one stage (split × GPU kind × replica count × batch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageCost {
+    /// Wall time for one replica to process one stage-batch.
+    pub batch_time: SimDuration,
+    /// Per-input-batch effective time: `survival_at_start · batch_time / replicas`.
+    pub effective_time: SimDuration,
+    /// Mean GPU occupancy while executing (for utilization reports).
+    pub mean_occupancy: f64,
+    /// Expected batch surviving at the stage's end (per stage-batch of `b0`).
+    pub batch_out: f64,
+    /// Survival fraction at the stage's start.
+    pub survival_in: f64,
+}
+
+/// Computes the cost of running `layers` (half-open) of `model` at input
+/// batch `b0` on `gpu`, honoring the profile's shrinkage and the ramp
+/// controller's enablement.
+///
+/// `b0` is the *constant* batch E3 maintains: the batch entering the
+/// stage is refused to `b0` regardless of upstream exits; within the
+/// stage the expected batch is `b0 · survival[k] / survival[start]`.
+pub fn stage_cost(
+    model: &EeModel,
+    ctrl: &RampController,
+    profile: &BatchProfile,
+    layers: Range<usize>,
+    b0: f64,
+    gpu: GpuKind,
+    replicas: usize,
+    lm: &LatencyModel,
+) -> StageCost {
+    assert!(!layers.is_empty(), "stage must contain at least one layer");
+    assert!(layers.end <= model.num_layers(), "stage out of range");
+    assert!(replicas >= 1, "stage needs at least one replica");
+    assert!(b0 > 0.0, "batch must be positive");
+
+    let s_in = profile.survival_at(layers.start);
+    if s_in <= 0.0 {
+        // Nothing reaches this stage; it is free (the DP will still place
+        // a replica, but it will never run).
+        return StageCost {
+            batch_time: SimDuration::ZERO,
+            effective_time: SimDuration::ZERO,
+            mean_occupancy: 0.0,
+            batch_out: 0.0,
+            survival_in: 0.0,
+        };
+    }
+
+    let mut batch_time = SimDuration::ZERO;
+    let mut occ_weighted = 0.0f64;
+    let mut ramps_in_stage = false;
+    for k in layers.clone() {
+        let batch = b0 * profile.survival_at(k) / s_in;
+        if batch <= 0.0 {
+            continue;
+        }
+        let spec = model.layers()[k];
+        let t = lm.layer_time(spec.work_us + spec.fixed_us, batch, gpu);
+        occ_weighted += t.as_secs_f64() * lm.occupancy(batch, gpu);
+        batch_time += t;
+        if let Some(ri) = model.ramp_after(k) {
+            if ctrl.pays_cost_at(ri) {
+                ramps_in_stage = true;
+                let rs = model.ramps()[ri];
+                let rt = lm.layer_time(rs.work_us + rs.fixed_us, batch, gpu);
+                occ_weighted += rt.as_secs_f64() * lm.occupancy(batch, gpu);
+                batch_time += rt;
+            }
+        }
+    }
+    if ramps_in_stage {
+        // E3's split execution acts on all exit decisions with one
+        // gather at the stage boundary (see e3-hardware's ExitOverheads).
+        let live_at_end = b0 * profile.survival_at(layers.end) / s_in;
+        batch_time += lm.exit.reform_time(live_at_end);
+    }
+    let mean_occupancy = if batch_time.is_zero() {
+        0.0
+    } else {
+        occ_weighted / batch_time.as_secs_f64()
+    };
+    let effective_time = batch_time.mul_f64(s_in / replicas as f64);
+    StageCost {
+        batch_time,
+        effective_time,
+        mean_occupancy,
+        batch_out: b0 * profile.survival_at(layers.end) / s_in,
+        survival_in: s_in,
+    }
+}
+
+/// The activation-transfer time charged at the boundary entering
+/// `next_start` (the paper's `Tx(s, s+1)`): one refused batch of `b0`
+/// samples of the boundary's activation size.
+pub fn boundary_transfer(
+    model: &EeModel,
+    next_start: usize,
+    b0: f64,
+    tm: &e3_hardware::TransferModel,
+) -> SimDuration {
+    assert!(next_start >= 1, "no boundary before the first layer");
+    tm.batch_transfer_time(model.boundary_bytes(next_start - 1), b0)
+}
+
+/// The transfer time of the *surviving* samples crossing the boundary at
+/// `next_start`: samples that exited upstream never cross, so the wire
+/// carries only `b0 · survival[next_start]` samples. This is the payload
+/// that matters for the pipeline's steady state; the full-batch
+/// [`boundary_transfer`] matters for a single request's latency path.
+pub fn boundary_transfer_surviving(
+    model: &EeModel,
+    profile: &BatchProfile,
+    next_start: usize,
+    b0: f64,
+    tm: &e3_hardware::TransferModel,
+) -> SimDuration {
+    assert!(next_start >= 1, "no boundary before the first layer");
+    tm.batch_transfer_time(
+        model.boundary_bytes(next_start - 1),
+        b0 * profile.survival_at(next_start),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e3_hardware::TransferModel;
+    use e3_model::zoo;
+    use e3_model::RampStyle;
+
+    fn setup() -> (EeModel, RampController, LatencyModel) {
+        let m = zoo::deebert();
+        let c = RampController::all_enabled(m.num_ramps(), RampStyle::Independent);
+        (m, c, LatencyModel::new())
+    }
+
+    #[test]
+    fn full_model_no_exit_stage_matches_anchor() {
+        // Whole DeeBERT with a flat profile at b=8 on V100: layer time
+        // ~19.7ms plus ~11 ramps of overhead.
+        let (m, c, lm) = setup();
+        let p = BatchProfile::no_exits(12);
+        let sc = stage_cost(&m, &c, &p, 0..12, 8.0, GpuKind::V100, 1, &lm);
+        let ms = sc.batch_time.as_millis_f64();
+        assert!((20.0..26.0).contains(&ms), "t={ms}");
+        assert_eq!(sc.batch_out, 8.0);
+        assert_eq!(sc.survival_in, 1.0);
+    }
+
+    #[test]
+    fn shrinking_profile_cheapens_late_layers() {
+        let (m, c, lm) = setup();
+        // Half the batch gone by layer 6.
+        let mut surv = vec![1.0; 7];
+        surv.extend(vec![0.5; 6]);
+        let p = BatchProfile::new(surv);
+        let flat = stage_cost(
+            &m,
+            &c,
+            &BatchProfile::no_exits(12),
+            0..12,
+            8.0,
+            GpuKind::V100,
+            1,
+            &lm,
+        );
+        let shrunk = stage_cost(&m, &c, &p, 0..12, 8.0, GpuKind::V100, 1, &lm);
+        assert!(shrunk.batch_time < flat.batch_time);
+        assert_eq!(shrunk.batch_out, 4.0);
+    }
+
+    #[test]
+    fn effective_time_scales_with_replicas_and_survival() {
+        let (m, c, lm) = setup();
+        // Survival drops to 0.5 entering layer 6 (indices 0..=5 are 1.0).
+        let mut surv = vec![1.0; 6];
+        surv.extend(vec![0.5; 7]);
+        let p = BatchProfile::new(surv);
+        // Second half of the model: survival in = 0.5.
+        let one = stage_cost(&m, &c, &p, 6..12, 8.0, GpuKind::V100, 1, &lm);
+        let two = stage_cost(&m, &c, &p, 6..12, 8.0, GpuKind::V100, 2, &lm);
+        assert_eq!(one.survival_in, 0.5);
+        assert!(
+            (one.effective_time.as_secs_f64() - 0.5 * one.batch_time.as_secs_f64()).abs() < 1e-9
+        );
+        assert!(
+            (two.effective_time.as_secs_f64() - 0.5 * one.effective_time.as_secs_f64()).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn disabled_ramps_reduce_stage_time() {
+        let (m, mut c, lm) = setup();
+        let p = BatchProfile::no_exits(12);
+        let full = stage_cost(&m, &c, &p, 0..12, 4.0, GpuKind::V100, 1, &lm);
+        c.keep_only(&[5]);
+        let trimmed = stage_cost(&m, &c, &p, 0..12, 4.0, GpuKind::V100, 1, &lm);
+        assert!(trimmed.batch_time < full.batch_time);
+    }
+
+    #[test]
+    fn dead_stage_is_free() {
+        let (m, c, lm) = setup();
+        // Nobody survives past layer 5.
+        let mut surv = vec![1.0; 6];
+        surv.extend(vec![0.0; 7]);
+        let p = BatchProfile::new(surv);
+        let sc = stage_cost(&m, &c, &p, 6..12, 8.0, GpuKind::V100, 1, &lm);
+        assert!(sc.batch_time.is_zero());
+        assert_eq!(sc.survival_in, 0.0);
+    }
+
+    #[test]
+    fn boundary_transfer_positive_for_ethernet() {
+        let (m, _, _) = setup();
+        let tm = TransferModel::default();
+        let t = boundary_transfer(&m, 6, 16.0, &tm);
+        assert!(t > SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn occupancy_reflects_batch() {
+        let (m, c, lm) = setup();
+        let p = BatchProfile::no_exits(12);
+        let small = stage_cost(&m, &c, &p, 0..12, 1.0, GpuKind::V100, 1, &lm);
+        let big = stage_cost(&m, &c, &p, 0..12, 8.0, GpuKind::V100, 1, &lm);
+        assert!(small.mean_occupancy < 0.3);
+        // Boundary-reform time dilutes occupancy slightly below 1.0.
+        assert!(big.mean_occupancy > 0.9, "occ={}", big.mean_occupancy);
+    }
+}

@@ -1,0 +1,178 @@
+//! ARIMA order selection and residual diagnostics.
+//!
+//! The paper fixes one ARIMA configuration; a production profiler should
+//! pick the order from the data. This module provides:
+//!
+//! * [`select_order`] — grid search over small (p, d, q) with the Akaike
+//!   Information Criterion (Gaussian likelihood approximation):
+//!   `AIC = n·ln(RSS/n) + 2k`;
+//! * [`ljung_box`] — the Ljung–Box portmanteau statistic over forecast
+//!   residuals: large values mean the residuals are still autocorrelated
+//!   and the model is underfitting (the profiler can use this as a
+//!   secondary drift signal).
+
+use e3_simcore::stats::autocorrelation;
+
+use crate::arima::ArimaModel;
+
+/// A candidate order with its AIC score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderScore {
+    /// AR order.
+    pub p: usize,
+    /// Differencing order.
+    pub d: usize,
+    /// MA order.
+    pub q: usize,
+    /// Akaike Information Criterion (lower is better).
+    pub aic: f64,
+}
+
+/// One-step-ahead in-sample residuals of a fitted model over `series`:
+/// refit-free walk-forward evaluation on the trailing half of the data.
+fn walk_forward_rss(series: &[f64], p: usize, d: usize, q: usize) -> Option<(f64, usize)> {
+    let start = (series.len() / 2).max(p + q + d + 9);
+    if start + 2 >= series.len() {
+        return None;
+    }
+    let mut rss = 0.0;
+    let mut n = 0usize;
+    for t in start..series.len() {
+        let model = ArimaModel::fit(&series[..t], p, d, q).ok()?;
+        let pred = model.forecast_one();
+        if !pred.is_finite() {
+            return None;
+        }
+        let err = pred - series[t];
+        rss += err * err;
+        n += 1;
+    }
+    Some((rss, n))
+}
+
+/// Grid-searches `(p, d, q)` over `p, q in 0..=max_pq`, `d in 0..=max_d`
+/// (excluding the degenerate all-zero order) and returns candidates
+/// sorted by AIC, best first. Candidates that fail to fit are skipped;
+/// the result is empty if nothing fits.
+pub fn select_order(series: &[f64], max_pq: usize, max_d: usize) -> Vec<OrderScore> {
+    let mut out = Vec::new();
+    for p in 0..=max_pq {
+        for d in 0..=max_d {
+            for q in 0..=max_pq {
+                if p == 0 && q == 0 {
+                    continue;
+                }
+                if let Some((rss, n)) = walk_forward_rss(series, p, d, q) {
+                    if n == 0 || rss < 0.0 {
+                        continue;
+                    }
+                    let k = (p + q + 1) as f64;
+                    let aic = n as f64 * ((rss / n as f64).max(1e-300)).ln() + 2.0 * k;
+                    out.push(OrderScore { p, d, q, aic });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.aic.partial_cmp(&b.aic).expect("finite AIC"));
+    out
+}
+
+/// The Ljung–Box Q statistic over `lags` of the residual series:
+/// `Q = n(n+2) Σ_k ρ_k² / (n − k)`. Under the null (white-noise
+/// residuals), Q is approximately χ²(lags); as a rule of thumb residuals
+/// with `Q > 2·lags` deserve suspicion.
+pub fn ljung_box(residuals: &[f64], lags: usize) -> f64 {
+    let n = residuals.len();
+    if n <= lags + 1 || lags == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mut q = 0.0;
+    for k in 1..=lags {
+        let rho = autocorrelation(residuals, k);
+        q += rho * rho / (nf - k as f64);
+    }
+    nf * (nf + 2.0) * q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ar1_series(phi: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+        };
+        let mut xs = vec![0.0];
+        for _ in 1..n {
+            let prev = *xs.last().expect("nonempty");
+            xs.push(phi * prev + next());
+        }
+        xs
+    }
+
+    #[test]
+    fn selection_prefers_ar_for_ar_process() {
+        let xs = ar1_series(0.8, 200, 7);
+        let ranked = select_order(&xs, 2, 1);
+        assert!(!ranked.is_empty());
+        let best = ranked[0];
+        // An AR process needs no differencing and some AR term.
+        assert_eq!(best.d, 0, "best order {best:?}");
+        assert!(best.p >= 1, "best order {best:?}");
+    }
+
+    #[test]
+    fn selection_handles_trend() {
+        // A linear trend needs either differencing or a (near-unit-root)
+        // AR term; a pure-MA model cannot follow it.
+        let xs: Vec<f64> = (0..120)
+            .map(|t| 5.0 + 0.5 * t as f64 + 0.05 * ((t * 7919) % 13) as f64)
+            .collect();
+        let ranked = select_order(&xs, 2, 1);
+        assert!(!ranked.is_empty());
+        let best = ranked[0];
+        assert!(best.d == 1 || best.p >= 1, "best {best:?}");
+        // The worst-ranked candidates should include a trend-blind pure-MA.
+        let ma_only = ranked
+            .iter()
+            .find(|o| o.p == 0 && o.d == 0)
+            .expect("pure MA candidate present");
+        assert!(ma_only.aic > best.aic);
+    }
+
+    #[test]
+    fn aic_ordering_is_sorted() {
+        let xs = ar1_series(0.5, 150, 9);
+        let ranked = select_order(&xs, 2, 1);
+        for w in ranked.windows(2) {
+            assert!(w[0].aic <= w[1].aic);
+        }
+    }
+
+    #[test]
+    fn ljung_box_separates_noise_from_structure() {
+        let noise = ar1_series(0.0, 400, 11);
+        let structured = ar1_series(0.9, 400, 11);
+        let lags = 10;
+        let q_noise = ljung_box(&noise, lags);
+        let q_struct = ljung_box(&structured, lags);
+        assert!(q_struct > q_noise * 3.0, "noise {q_noise} struct {q_struct}");
+        // White noise should sit near the chi-square mean (= lags).
+        assert!(q_noise < 3.0 * lags as f64, "q_noise {q_noise}");
+    }
+
+    #[test]
+    fn ljung_box_degenerate_inputs() {
+        assert_eq!(ljung_box(&[1.0, 2.0], 10), 0.0);
+        assert_eq!(ljung_box(&[1.0; 50], 0), 0.0);
+    }
+
+    #[test]
+    fn short_series_yields_empty_ranking() {
+        let ranked = select_order(&[1.0, 2.0, 3.0], 2, 1);
+        assert!(ranked.is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Per-window exit accounting.
+//!
+//! The runtime reports, for each sample in a scheduling window, where it
+//! exited. [`WindowObserver`] accumulates those reports and converts them
+//! into the window's observed [`BatchProfile`].
+
+use e3_model::BatchProfile;
+
+/// Accumulates exit observations over one scheduling window.
+#[derive(Debug, Clone)]
+pub struct WindowObserver {
+    exits_after: Vec<f64>,
+    total: u64,
+}
+
+impl WindowObserver {
+    /// Creates an observer for a model with `num_layers` layers.
+    pub fn new(num_layers: usize) -> Self {
+        WindowObserver {
+            exits_after: vec![0.0; num_layers],
+            total: 0,
+        }
+    }
+
+    /// Records a sample that exited at the ramp after `layer`.
+    pub fn record_exit(&mut self, layer: usize) {
+        self.exits_after[layer] += 1.0;
+        self.total += 1;
+    }
+
+    /// Records a sample that ran the full model.
+    pub fn record_completion(&mut self) {
+        self.total += 1;
+    }
+
+    /// Number of samples observed in this window.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The observed batch profile, or `None` if nothing was observed.
+    pub fn profile(&self) -> Option<BatchProfile> {
+        if self.total == 0 {
+            return None;
+        }
+        Some(BatchProfile::from_exit_counts(
+            &self.exits_after,
+            self.total as f64,
+        ))
+    }
+
+    /// Resets for the next window.
+    pub fn reset(&mut self) {
+        self.exits_after.iter_mut().for_each(|e| *e = 0.0);
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_from_observations() {
+        let mut w = WindowObserver::new(4);
+        for _ in 0..5 {
+            w.record_exit(1);
+        }
+        for _ in 0..5 {
+            w.record_completion();
+        }
+        let p = w.profile().unwrap();
+        assert_eq!(p.survival(), &[1.0, 1.0, 0.5, 0.5, 0.5]);
+        assert_eq!(w.total(), 10);
+    }
+
+    #[test]
+    fn empty_window_has_no_profile() {
+        let w = WindowObserver::new(3);
+        assert!(w.profile().is_none());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut w = WindowObserver::new(2);
+        w.record_exit(0);
+        w.reset();
+        assert_eq!(w.total(), 0);
+        assert!(w.profile().is_none());
+    }
+}

@@ -1,0 +1,526 @@
+//! Autoregressive serving simulation (§5.1.3, figs. 10–12).
+//!
+//! Generative models run their decoder once per output token, so the
+//! early-exit batching problem recurs *within every iteration*: tokens
+//! that exit at shallow decoder layers shrink the batch for the deeper
+//! layers of that pass. This module computes closed-loop goodput for the
+//! four serving shapes the paper compares:
+//!
+//! * **vanilla static batching** — the whole batch decodes until its
+//!   *longest* member finishes (stragglers waste compute on padded
+//!   slots, which is why E3's wins grow on variable-length
+//!   summarization);
+//! * **CALM-style sequential** — per-token exits but no batching at all
+//!   (the CALM paper disables batching; goodput stagnates as the offered
+//!   batch grows);
+//! * **naive batched EE** — exits with batching, every ramp checked
+//!   (the Llama-EE construction; the large lm-head ramp cost makes this
+//!   *slower* than vanilla);
+//! * **E3** — the decoder split at a profile-chosen boundary, stages
+//!   allocated across GPUs, full batches re-fused at the boundary.
+//!
+//! The simulator materializes per-token exit depths from the synthetic
+//! semantics and evaluates steady-state throughput analytically (pipeline
+//! bottleneck), which matches the closed-loop setting of the paper's LLM
+//! experiments.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use e3_hardware::{GpuKind, LatencyModel};
+use e3_model::{EeModel, ExitPolicy, InferenceSim, RampController};
+use e3_workload::DatasetModel;
+
+/// How the autoregressive model is served.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AutoRegStrategy {
+    /// Stock model, static batching, decode until the longest member ends.
+    VanillaStatic,
+    /// Per-token exits, batch processed one request at a time (CALM).
+    NaiveEeSequential,
+    /// Per-token exits with batching; every ramp checked. Only supported
+    /// for single-token tasks (BoolQ).
+    NaiveEeBatched,
+    /// E3: decoder split at `boundary` (absolute layer index), re-fused
+    /// batches, GPUs allocated across the two stage groups.
+    E3 {
+        /// Absolute layer index where the decoder is cut.
+        boundary: usize,
+    },
+}
+
+/// Results of an autoregressive serving simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoRegReport {
+    /// Completed requests per second.
+    pub goodput: f64,
+    /// Generated tokens per second.
+    pub tokens_per_sec: f64,
+    /// Mean decoder layers executed per token.
+    pub mean_decoder_depth: f64,
+    /// Fraction of tokens crossing the E3 boundary (0 for baselines).
+    pub boundary_survival: f64,
+}
+
+/// Per-token materialized journey.
+struct Token {
+    /// Absolute layers executed (including any encoder prefix).
+    layers_executed: usize,
+    /// Ramp indices whose cost was paid.
+    ramps_paid: Vec<usize>,
+}
+
+/// Simulates closed-loop autoregressive serving.
+///
+/// `n_gpus` identical `gpu` devices, input batch `b0`, `n_requests`
+/// requests drawn from `dataset`.
+///
+/// # Panics
+///
+/// Panics if the model lacks an [`e3_model::AutoRegSpec`], or if
+/// [`AutoRegStrategy::NaiveEeBatched`] is used with multi-token outputs.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_autoreg(
+    model: &EeModel,
+    policy: &ExitPolicy,
+    ctrl: &RampController,
+    infer: &InferenceSim,
+    dataset: &DatasetModel,
+    strategy: AutoRegStrategy,
+    gpu: GpuKind,
+    n_gpus: usize,
+    b0: usize,
+    n_requests: usize,
+    lm: &LatencyModel,
+    seed: u64,
+) -> AutoRegReport {
+    assert!(n_gpus >= 1 && b0 >= 1 && n_requests >= 1);
+    let ar = model.autoreg().expect("autoregressive model required");
+    let enc = ar.encoder_layers;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Materialize requests: output length + per-token journeys.
+    let mut requests: Vec<Vec<Token>> = Vec::with_capacity(n_requests);
+    for _ in 0..n_requests {
+        let len = dataset.output_len.sample(&mut rng).max(1) as usize;
+        let mut tokens = Vec::with_capacity(len);
+        for _ in 0..len {
+            let h = dataset.sample_hardness(&mut rng);
+            let out = infer.run_sample(model, policy, ctrl, h, &mut rng);
+            tokens.push(Token {
+                layers_executed: out.layers_executed,
+                ramps_paid: out.ramps_paid,
+            });
+        }
+        requests.push(tokens);
+    }
+    let total_tokens: usize = requests.iter().map(Vec::len).sum();
+    let mean_depth = requests
+        .iter()
+        .flat_map(|r| r.iter())
+        .map(|t| (t.layers_executed - enc) as f64)
+        .sum::<f64>()
+        / total_tokens as f64;
+
+    let layer_cost = |k: usize| {
+        let l = model.layers()[k];
+        l.work_us + l.fixed_us
+    };
+    let ramp_cost = |ri: usize| {
+        let r = model.ramps()[ri];
+        r.work_us + r.fixed_us
+    };
+    let head_cost = ar.lm_head.work_us + ar.lm_head.fixed_us;
+
+    // Encoder time for a batch of b.
+    let encoder_time = |b: f64| -> f64 {
+        (0..enc)
+            .map(|k| lm.layer_time(layer_cost(k), b, gpu).as_secs_f64())
+            .sum()
+    };
+    // One full decoder pass (no exits) at batch b, including the head.
+    let full_decoder_pass = |b: f64| -> f64 {
+        let layers: f64 = (enc..model.num_layers())
+            .map(|k| lm.layer_time(layer_cost(k), b, gpu).as_secs_f64())
+            .sum();
+        layers + lm.layer_time(head_cost, b, gpu).as_secs_f64()
+    };
+
+    let (total_time_per_gpu_group, survival) = match strategy {
+        AutoRegStrategy::VanillaStatic => {
+            // Batches of b0 requests; decode until the longest finishes.
+            let mut total = 0.0;
+            for chunk in requests.chunks(b0) {
+                let b = chunk.len() as f64;
+                let t_max = chunk.iter().map(Vec::len).max().expect("nonempty");
+                total += encoder_time(b) + t_max as f64 * full_decoder_pass(b);
+            }
+            (total, 0.0)
+        }
+        AutoRegStrategy::NaiveEeSequential => {
+            // One request at a time, batch 1, exits honored, every paid
+            // ramp charged.
+            let mut total = 0.0;
+            for req in &requests {
+                total += encoder_time(1.0);
+                for t in req {
+                    for k in enc..t.layers_executed {
+                        total += lm.layer_time(layer_cost(k), 1.0, gpu).as_secs_f64();
+                    }
+                    for &ri in &t.ramps_paid {
+                        total += lm.layer_time(ramp_cost(ri), 1.0, gpu).as_secs_f64();
+                        // Acting on each check costs a device-host sync.
+                        total += lm.exit.reform_time(1.0).as_secs_f64();
+                    }
+                    if t.layers_executed == model.num_layers() {
+                        total += lm.layer_time(head_cost, 1.0, gpu).as_secs_f64();
+                    }
+                }
+            }
+            (total, 0.0)
+        }
+        AutoRegStrategy::NaiveEeBatched => {
+            assert!(
+                requests.iter().all(|r| r.len() == 1),
+                "batched naive EE supports single-token outputs only"
+            );
+            let mut total = 0.0;
+            for chunk in requests.chunks(b0) {
+                total += encoder_time(chunk.len() as f64);
+                for k in enc..model.num_layers() {
+                    let active = chunk
+                        .iter()
+                        .filter(|r| r[0].layers_executed > k)
+                        .count() as f64;
+                    if active == 0.0 {
+                        break;
+                    }
+                    total += lm.layer_time(layer_cost(k), active, gpu).as_secs_f64();
+                    if let Some(ri) = model.ramp_after(k) {
+                        if ctrl.pays_cost_at(ri) {
+                            total += lm.layer_time(ramp_cost(ri), active, gpu).as_secs_f64();
+                            total += lm.exit.reform_time(active).as_secs_f64();
+                        }
+                    }
+                }
+                let finishers = chunk
+                    .iter()
+                    .filter(|r| r[0].layers_executed == model.num_layers())
+                    .count() as f64;
+                if finishers > 0.0 {
+                    total += lm.layer_time(head_cost, finishers, gpu).as_secs_f64();
+                }
+            }
+            (total, 0.0)
+        }
+        AutoRegStrategy::E3 { boundary } => {
+            assert!(
+                boundary > enc && boundary < model.num_layers(),
+                "boundary must cut the decoder"
+            );
+            // Expected survival at the boundary over all tokens.
+            let crossing = requests
+                .iter()
+                .flat_map(|r| r.iter())
+                .filter(|t| t.layers_executed > boundary)
+                .count() as f64;
+            let f = crossing / total_tokens as f64;
+            let b = b0 as f64;
+            // Stage A: token batch at b0, layers enc..boundary with ramp
+            // costs inside, plus amortized encoder work per token.
+            let mean_tokens = total_tokens as f64 / n_requests as f64;
+            let mut t_a = encoder_time(b) / mean_tokens;
+            for k in enc..boundary {
+                // Expected surviving batch inside the stage.
+                let surv_k = requests
+                    .iter()
+                    .flat_map(|r| r.iter())
+                    .filter(|t| t.layers_executed > k)
+                    .count() as f64
+                    / total_tokens as f64;
+                let batch_k = b * surv_k;
+                if batch_k <= 0.0 {
+                    continue;
+                }
+                t_a += lm.layer_time(layer_cost(k), batch_k, gpu).as_secs_f64();
+                if let Some(ri) = model.ramp_after(k) {
+                    if ctrl.pays_cost_at(ri) {
+                        t_a += lm.layer_time(ramp_cost(ri), batch_k, gpu).as_secs_f64();
+                    }
+                }
+            }
+            // Stage B: re-fused to b0; layers boundary.., head included.
+            let mut t_b = 0.0;
+            for k in boundary..model.num_layers() {
+                let surv_k = requests
+                    .iter()
+                    .flat_map(|r| r.iter())
+                    .filter(|t| t.layers_executed > k)
+                    .count() as f64
+                    / crossing.max(1.0);
+                let batch_k = b * surv_k;
+                if batch_k <= 0.0 {
+                    continue;
+                }
+                t_b += lm.layer_time(layer_cost(k), batch_k, gpu).as_secs_f64();
+                if let Some(ri) = model.ramp_after(k) {
+                    if ctrl.pays_cost_at(ri) {
+                        t_b += lm.layer_time(ramp_cost(ri), batch_k, gpu).as_secs_f64();
+                    }
+                }
+            }
+            t_b += lm.layer_time(head_cost, b, gpu).as_secs_f64();
+            // One deferred gather at the split boundary re-forms the batch.
+            t_a += lm.exit.reform_time(b * f).as_secs_f64();
+
+            // Allocate the n_gpus between stages to minimize the pipeline
+            // bottleneck; per input token-batch, stage B handles f
+            // fused batches.
+            let mut best = f64::INFINITY;
+            for m_a in 1..n_gpus.max(2) {
+                let m_b = n_gpus - m_a;
+                if m_b == 0 {
+                    continue;
+                }
+                let bn = (t_a / m_a as f64).max(f * t_b / m_b as f64);
+                best = best.min(bn);
+            }
+            if n_gpus == 1 {
+                // Single GPU: serial execution of both stages.
+                best = t_a + f * t_b;
+            }
+            // Token throughput b0 / bottleneck; convert to per-"GPU group"
+            // total time for the shared accounting below.
+            let token_throughput = b / best;
+            let total_time = total_tokens as f64 / token_throughput;
+            // E3 already accounts all n_gpus inside the bottleneck math:
+            // report through the common path with group size 1.
+            return AutoRegReport {
+                goodput: n_requests as f64 / total_time,
+                tokens_per_sec: token_throughput,
+                mean_decoder_depth: mean_depth,
+                boundary_survival: f,
+            };
+        }
+    };
+
+    // Baselines: each GPU processes an equal share of the batches.
+    let wall = total_time_per_gpu_group / n_gpus as f64;
+    AutoRegReport {
+        goodput: n_requests as f64 / wall,
+        tokens_per_sec: total_tokens as f64 / wall,
+        mean_decoder_depth: mean_depth,
+        boundary_survival: survival,
+    }
+}
+
+/// Picks the E3 boundary for an autoregressive model: the first decoder
+/// boundary where token survival drops to `frac` or below, estimated by
+/// Monte Carlo over `dataset`.
+pub fn pick_boundary(
+    model: &EeModel,
+    policy: &ExitPolicy,
+    ctrl: &RampController,
+    infer: &InferenceSim,
+    dataset: &DatasetModel,
+    frac: f64,
+    seed: u64,
+) -> usize {
+    let enc = model.autoreg().map_or(0, |a| a.encoder_layers);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 2000;
+    let mut exits = vec![0usize; model.num_layers() + 1];
+    for _ in 0..n {
+        let h = dataset.sample_hardness(&mut rng);
+        let out = infer.run_sample(model, policy, ctrl, h, &mut rng);
+        exits[out.layers_executed] += 1;
+    }
+    let mut alive = n;
+    for k in enc + 1..model.num_layers() {
+        alive -= exits[k];
+        if (alive as f64 / n as f64) <= frac {
+            return k;
+        }
+    }
+    model.num_layers() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e3_model::{zoo, RampStyle};
+
+    fn calm_setup() -> (EeModel, ExitPolicy, RampController, InferenceSim) {
+        let m = zoo::calm_t5();
+        let p = zoo::default_policy("CALM");
+        let c = RampController::all_enabled(m.num_ramps(), RampStyle::Independent);
+        (m, p, c, InferenceSim::new())
+    }
+
+    #[test]
+    fn calm_beats_t5_at_batch_one() {
+        // fig. 10: CALM ~2.8x over T5 at b=1.
+        let (calm, pol, ctrl, inf) = calm_setup();
+        let t5 = zoo::t5();
+        let ctrl0 = RampController::all_enabled(0, RampStyle::Independent);
+        let ds = DatasetModel::wmt();
+        let lm = LatencyModel::new();
+        let vanilla = simulate_autoreg(
+            &t5,
+            &pol,
+            &ctrl0,
+            &inf,
+            &ds,
+            AutoRegStrategy::VanillaStatic,
+            GpuKind::A6000,
+            4,
+            1,
+            400,
+            &lm,
+            1,
+        );
+        let calm_r = simulate_autoreg(
+            &calm,
+            &pol,
+            &ctrl,
+            &inf,
+            &ds,
+            AutoRegStrategy::NaiveEeSequential,
+            GpuKind::A6000,
+            4,
+            1,
+            400,
+            &lm,
+            1,
+        );
+        let speedup = calm_r.goodput / vanilla.goodput;
+        assert!(
+            (1.8..4.0).contains(&speedup),
+            "speedup={speedup} calm={} t5={}",
+            calm_r.goodput,
+            vanilla.goodput
+        );
+    }
+
+    #[test]
+    fn calm_stagnates_with_batch_e3_scales() {
+        let (calm, pol, ctrl, inf) = calm_setup();
+        let ds = DatasetModel::wmt();
+        let lm = LatencyModel::new();
+        let boundary = pick_boundary(&calm, &pol, &ctrl, &inf, &ds, 0.5, 7);
+        let run = |strat, b| {
+            simulate_autoreg(
+                &calm, &pol, &ctrl, &inf, &ds, strat, GpuKind::A6000, 4, b, 400, &lm, 2,
+            )
+            .goodput
+        };
+        let calm_1 = run(AutoRegStrategy::NaiveEeSequential, 1);
+        let calm_16 = run(AutoRegStrategy::NaiveEeSequential, 16);
+        // Sequential processing: batch size does not help CALM.
+        assert!((calm_16 / calm_1 - 1.0).abs() < 0.1, "{calm_1} {calm_16}");
+        let e3_16 = run(AutoRegStrategy::E3 { boundary }, 16);
+        assert!(e3_16 > calm_16 * 1.5, "e3={e3_16} calm={calm_16}");
+    }
+
+    #[test]
+    fn llama_ee_underperforms_vanilla_at_batch_one() {
+        // fig. 12: per-layer lm-head checking makes Llama-EE slower than
+        // vanilla Llama even at b=1.
+        let ee = zoo::llama31_8b_ee();
+        let vanilla = zoo::llama31_8b();
+        let pol = zoo::default_policy("Llama3.1-8b-EE");
+        let ctrl = RampController::all_enabled(ee.num_ramps(), RampStyle::Independent);
+        let ctrl0 = RampController::all_enabled(0, RampStyle::Independent);
+        let inf = InferenceSim::new();
+        let ds = DatasetModel::boolq();
+        let lm = LatencyModel::new();
+        let v = simulate_autoreg(
+            &vanilla,
+            &pol,
+            &ctrl0,
+            &inf,
+            &ds,
+            AutoRegStrategy::VanillaStatic,
+            GpuKind::A6000,
+            4,
+            1,
+            400,
+            &lm,
+            3,
+        );
+        let e = simulate_autoreg(
+            &ee,
+            &pol,
+            &ctrl,
+            &inf,
+            &ds,
+            AutoRegStrategy::NaiveEeBatched,
+            GpuKind::A6000,
+            4,
+            1,
+            400,
+            &lm,
+            3,
+        );
+        assert!(e.goodput < v.goodput, "ee={} vanilla={}", e.goodput, v.goodput);
+    }
+
+    #[test]
+    fn e3_beats_vanilla_llama() {
+        let ee = zoo::llama31_8b_ee();
+        let vanilla = zoo::llama31_8b();
+        let pol = zoo::default_policy("Llama3.1-8b-EE");
+        let mut ctrl = RampController::all_enabled(ee.num_ramps(), RampStyle::Independent);
+        let ctrl0 = RampController::all_enabled(0, RampStyle::Independent);
+        let inf = InferenceSim::new();
+        let ds = DatasetModel::boolq();
+        let lm = LatencyModel::new();
+        let boundary = pick_boundary(&ee, &pol, &ctrl, &inf, &ds, 0.5, 9);
+        // E3 checks exits only at the split boundary (§5.1.3: "E3 only
+        // needs to check for exits at the end of splits").
+        ctrl.keep_only(&[boundary.saturating_sub(1)]);
+        let v = simulate_autoreg(
+            &vanilla,
+            &pol,
+            &ctrl0,
+            &inf,
+            &ds,
+            AutoRegStrategy::VanillaStatic,
+            GpuKind::A6000,
+            4,
+            8,
+            400,
+            &lm,
+            4,
+        );
+        let e = simulate_autoreg(
+            &ee,
+            &pol,
+            &ctrl,
+            &inf,
+            &ds,
+            AutoRegStrategy::E3 { boundary },
+            GpuKind::A6000,
+            4,
+            8,
+            400,
+            &lm,
+            4,
+        );
+        assert!(
+            e.goodput > v.goodput,
+            "e3={} vanilla={}",
+            e.goodput,
+            v.goodput
+        );
+    }
+
+    #[test]
+    fn boundary_picker_finds_midpoint() {
+        let (calm, pol, ctrl, inf) = calm_setup();
+        let ds = DatasetModel::wmt();
+        let b = pick_boundary(&calm, &pol, &ctrl, &inf, &ds, 0.5, 5);
+        let enc = calm.autoreg().unwrap().encoder_layers;
+        assert!(b > enc && b < calm.num_layers(), "b={b}");
+    }
+}

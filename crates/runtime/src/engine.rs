@@ -1,0 +1,938 @@
+//! The serving event loop.
+//!
+//! A [`ServingSim`] executes one request stream against one realized
+//! strategy (stage specs) on the calibrated hardware model. Everything is
+//! deterministic: a single seeded RNG materializes per-request outcomes
+//! at ingest, the event queue breaks ties FIFO, and replica selection is
+//! by (queue length, id).
+//!
+//! The loop implements the paper's §3.3/§4 runtime behaviours:
+//!
+//! * dynamic batching at the frontend (full batch or deadline flush);
+//! * per-replica private queues;
+//! * batch **fusion** between stages — surviving samples from multiple
+//!   upstream batches re-form full batches (the constant-batch-size
+//!   mechanism);
+//! * pipelining — transfers are events, so compute and communication
+//!   overlap naturally;
+//! * admission drops when a request's deadline is unmeetable (Clockwork
+//!   style);
+//! * straggler detection by per-replica service-time monitoring, with
+//!   exclusion from future assignment (§3.3).
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use e3_hardware::{GpuKind, LatencyModel, TransferModel};
+use e3_model::{EeModel, ExitPolicy, InferenceSim, RampController};
+use e3_simcore::metrics::{DurationHistogram, UtilizationTracker};
+use e3_simcore::{EventQueue, SimDuration, SimTime};
+use e3_workload::Request;
+
+use crate::batch::{Batch, FusionBuffer};
+use crate::executor::execute_batch;
+use crate::report::{ExitEvent, RunReport};
+use crate::sample::SimSample;
+use crate::strategy::StageSpec;
+
+/// Runtime configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingConfig {
+    /// Latency SLO for goodput accounting and admission drops.
+    pub slo: SimDuration,
+    /// Closed-loop mode: stage-0 replicas self-feed from an infinite
+    /// backlog (arrival time = dispatch time). Open-loop mode replays the
+    /// requests' arrival timestamps.
+    pub closed_loop: bool,
+    /// Maximum time a sample may wait in a fusion buffer (or the frontend
+    /// batcher) before a partial batch is flushed.
+    pub fusion_max_wait: SimDuration,
+    /// Per-stage overrides for the fusion wait: later stages receive
+    /// survivors slowly (their fill time is one cycle divided by the
+    /// stage's survival fraction) and need proportionally longer waits.
+    /// Empty = use `fusion_max_wait` everywhere.
+    pub fusion_waits: Vec<SimDuration>,
+    /// Drop requests at dispatch when their deadline is unmeetable.
+    pub drop_late: bool,
+    /// Record per-completion exit events (needed by the profiler loop).
+    pub record_exit_events: bool,
+    /// Injected straggler slowdowns: `(global replica id, factor)`.
+    pub straggler_slowdowns: Vec<(usize, f64)>,
+    /// Enable straggler detection/exclusion.
+    pub detect_stragglers: bool,
+    /// Report duration floor (open-loop traces with idle tails divide
+    /// goodput by the full horizon, not the last completion).
+    pub horizon: Option<SimDuration>,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            slo: SimDuration::from_millis(100),
+            closed_loop: true,
+            fusion_max_wait: SimDuration::from_millis(5),
+            fusion_waits: Vec::new(),
+            drop_late: true,
+            record_exit_events: true,
+            straggler_slowdowns: Vec::new(),
+            detect_stragglers: false,
+            horizon: None,
+        }
+    }
+}
+
+/// The serving simulator. Construct once, then [`ServingSim::run`].
+pub struct ServingSim<'a> {
+    model: &'a EeModel,
+    policy: ExitPolicy,
+    ctrl: RampController,
+    infer: InferenceSim,
+    stages: Vec<StageSpec>,
+    lm: LatencyModel,
+    tm: TransferModel,
+    cfg: ServingConfig,
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Arrival(usize),
+    ExecDone { replica: usize },
+    BatchReady { stage: usize, batch: Batch },
+    Flush { stage: usize },
+}
+
+struct Replica {
+    stage: usize,
+    gpu: GpuKind,
+    queue: VecDeque<Batch>,
+    busy: bool,
+    running: Option<Batch>,
+    slowdown: f64,
+    excluded: bool,
+    batches_done: u32,
+    per_sample_secs_sum: f64,
+}
+
+struct Engine<'a> {
+    sim: &'a ServingSim<'a>,
+    q: EventQueue<Ev>,
+    replicas: Vec<Replica>,
+    stage_replicas: Vec<Vec<usize>>,
+    buffers: Vec<FusionBuffer>,
+    flush_pending: Vec<bool>,
+    /// Worst-case remaining service (no exits, full batch) from each
+    /// stage's start to completion — the admission-drop estimate.
+    est_remaining: Vec<SimDuration>,
+    backlog: Vec<SimSample>,
+    backlog_cursor: usize,
+    /// Samples admitted at stage 0 and not yet completed; the closed-loop
+    /// feeder stops pulling when this reaches `in_flight_cap`
+    /// (backpressure, so an unbalanced plan builds bounded queues instead
+    /// of unbounded ones).
+    in_flight: usize,
+    in_flight_cap: usize,
+    // metrics
+    latency: DurationHistogram,
+    util: Vec<UtilizationTracker>,
+    completed: u64,
+    within_slo: u64,
+    dropped: u64,
+    correct: u64,
+    exit_events: Vec<ExitEvent>,
+    dispatch_batch_sum: Vec<f64>,
+    dispatch_batch_n: Vec<u64>,
+    stragglers_detected: Vec<usize>,
+    last_completion: SimTime,
+    /// Running peak of queued batches per stage (observability; exposed
+    /// as RunReport::peak_queue_depth).
+    peak_queue_depth: Vec<usize>,
+}
+
+impl<'a> ServingSim<'a> {
+    /// Builds a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` do not contiguously cover the model.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        model: &'a EeModel,
+        policy: ExitPolicy,
+        ctrl: RampController,
+        infer: InferenceSim,
+        stages: Vec<StageSpec>,
+        lm: LatencyModel,
+        tm: TransferModel,
+        cfg: ServingConfig,
+    ) -> Self {
+        assert!(!stages.is_empty(), "need at least one stage");
+        assert_eq!(stages[0].layers.start, 0, "stages must start at layer 0");
+        assert_eq!(
+            stages.last().expect("nonempty").layers.end,
+            model.num_layers(),
+            "stages must cover the model"
+        );
+        for w in stages.windows(2) {
+            assert_eq!(w[0].layers.end, w[1].layers.start, "stages must be contiguous");
+        }
+        assert!(
+            stages.iter().all(|s| !s.replicas.is_empty()),
+            "every stage needs a replica"
+        );
+        ServingSim {
+            model,
+            policy,
+            ctrl,
+            infer,
+            stages,
+            lm,
+            tm,
+            cfg,
+        }
+    }
+
+    /// Runs the simulation over `requests` with the given seed.
+    pub fn run(&self, requests: &[Request], seed: u64) -> RunReport {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let backlog: Vec<SimSample> = requests
+            .iter()
+            .map(|r| {
+                SimSample::materialize(r, self.model, &self.infer, &self.policy, &self.ctrl, &mut rng)
+            })
+            .collect();
+
+        let mut replicas = Vec::new();
+        let mut stage_replicas = Vec::new();
+        for (si, st) in self.stages.iter().enumerate() {
+            let mut ids = Vec::new();
+            for &gpu in &st.replicas {
+                let id = replicas.len();
+                let slowdown = self
+                    .cfg
+                    .straggler_slowdowns
+                    .iter()
+                    .find(|(r, _)| *r == id)
+                    .map_or(1.0, |(_, f)| *f);
+                replicas.push(Replica {
+                    stage: si,
+                    gpu,
+                    queue: VecDeque::new(),
+                    busy: false,
+                    running: None,
+                    slowdown,
+                    excluded: false,
+                    batches_done: 0,
+                    per_sample_secs_sum: 0.0,
+                });
+                ids.push(id);
+            }
+            stage_replicas.push(ids);
+        }
+
+        // Worst-case remaining service per stage: full batch, no exits,
+        // on the stage's slowest replica kind, plus downstream transfers.
+        let mut est_remaining = vec![SimDuration::ZERO; self.stages.len()];
+        for si in (0..self.stages.len()).rev() {
+            let st = &self.stages[si];
+            let worst_gpu = st
+                .replicas
+                .iter()
+                .copied()
+                .max_by(|a, b| {
+                    a.base_latency_factor()
+                        .partial_cmp(&b.base_latency_factor())
+                        .expect("finite")
+                })
+                .expect("nonempty");
+            let works: Vec<f64> = st.layers.clone().map(|k| {
+                let l = self.model.layers()[k];
+                let ramp = self.model.ramp_after(k).filter(|ri| self.ctrl.pays_cost_at(*ri));
+                l.work_us
+                    + l.fixed_us
+                    + ramp.map_or(0.0, |ri| {
+                        let r = self.model.ramps()[ri];
+                        r.work_us + r.fixed_us
+                    })
+            }).collect();
+            let batches = vec![st.target_batch as f64; works.len()];
+            let t = self.lm.layers_time(&works, &batches, worst_gpu);
+            let tx = if si + 1 < self.stages.len() {
+                self.tm.batch_transfer_time(
+                    self.model.boundary_bytes(st.layers.end - 1),
+                    st.target_batch as f64,
+                )
+            } else {
+                SimDuration::ZERO
+            };
+            est_remaining[si] = t
+                + tx
+                + est_remaining
+                    .get(si + 1)
+                    .copied()
+                    .unwrap_or(SimDuration::ZERO);
+        }
+
+        let num_stages = self.stages.len();
+        let num_replicas = replicas.len();
+        let mut eng = Engine {
+            sim: self,
+            q: EventQueue::new(),
+            replicas,
+            stage_replicas,
+            buffers: self
+                .stages
+                .iter()
+                .map(|s| FusionBuffer::new(s.target_batch))
+                .collect(),
+            flush_pending: vec![false; num_stages],
+            est_remaining,
+            backlog,
+            backlog_cursor: 0,
+            in_flight: 0,
+            in_flight_cap: (5 * num_replicas * self.stages[0].target_batch).div_ceil(4),
+            latency: DurationHistogram::new(),
+            util: (0..num_replicas).map(|_| UtilizationTracker::new()).collect(),
+            completed: 0,
+            within_slo: 0,
+            dropped: 0,
+            correct: 0,
+            exit_events: Vec::new(),
+            dispatch_batch_sum: vec![0.0; num_stages],
+            dispatch_batch_n: vec![0; num_stages],
+            stragglers_detected: Vec::new(),
+            last_completion: SimTime::ZERO,
+            peak_queue_depth: vec![0; num_stages],
+        };
+        eng.run();
+
+        let duration = match self.cfg.horizon {
+            Some(h) => {
+                let d = eng.last_completion.saturating_since(SimTime::ZERO);
+                d.max(h)
+            }
+            None => eng.last_completion.saturating_since(SimTime::ZERO),
+        };
+        RunReport {
+            duration,
+            completed: eng.completed,
+            within_slo: eng.within_slo,
+            dropped: eng.dropped,
+            correct: eng.correct,
+            latency: eng.latency,
+            replica_util: eng.util,
+            mean_dispatch_batch: (0..num_stages)
+                .map(|s| {
+                    if eng.dispatch_batch_n[s] == 0 {
+                        0.0
+                    } else {
+                        eng.dispatch_batch_sum[s] / eng.dispatch_batch_n[s] as f64
+                    }
+                })
+                .collect(),
+            exit_events: eng.exit_events,
+            slo: self.cfg.slo,
+            stragglers_detected: eng.stragglers_detected,
+            peak_queue_depth: eng.peak_queue_depth,
+        }
+    }
+}
+
+impl Engine<'_> {
+    fn run(&mut self) {
+        if self.sim.cfg.closed_loop {
+            let ids = self.stage_replicas[0].clone();
+            for r in ids {
+                self.feed_closed_loop(r);
+            }
+        } else {
+            for i in 0..self.backlog.len() {
+                let at = self.backlog[i].arrival;
+                self.q.schedule(at, Ev::Arrival(i));
+            }
+        }
+        while let Some(ev) = self.q.pop() {
+            match ev.event {
+                Ev::Arrival(i) => self.on_arrival(i),
+                Ev::ExecDone { replica } => self.on_exec_done(replica),
+                Ev::BatchReady { stage, batch } => self.on_batch_ready(stage, batch),
+                Ev::Flush { stage } => self.on_flush(stage),
+            }
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.q.now()
+    }
+
+    fn wait_for(&self, stage: usize) -> SimDuration {
+        self.sim
+            .cfg
+            .fusion_waits
+            .get(stage)
+            .copied()
+            .unwrap_or(self.sim.cfg.fusion_max_wait)
+    }
+
+    fn on_arrival(&mut self, i: usize) {
+        let s = self.backlog[i];
+        let now = self.now();
+        self.buffers[0].push(s, now);
+        self.pump(0);
+    }
+
+    fn on_batch_ready(&mut self, stage: usize, batch: Batch) {
+        let now = self.now();
+        for s in batch.samples {
+            self.buffers[stage].push(s, now);
+        }
+        self.pump(stage);
+    }
+
+    /// Forms full batches and routes them; arms a flush timer otherwise.
+    fn pump(&mut self, stage: usize) {
+        let now = self.now();
+        while let Some(b) = self.buffers[stage].take_full(now) {
+            self.route(stage, b);
+        }
+        if !self.buffers[stage].is_empty() && !self.flush_pending[stage] {
+            let oldest = self.buffers[stage].oldest_enqueue().expect("nonempty");
+            let at = (oldest + self.wait_for(stage)).max(now);
+            self.q.schedule(at, Ev::Flush { stage });
+            self.flush_pending[stage] = true;
+        }
+    }
+
+    fn on_flush(&mut self, stage: usize) {
+        self.flush_pending[stage] = false;
+        let now = self.now();
+        let due = self.buffers[stage]
+            .oldest_enqueue()
+            .map_or(false, |t| now >= t + self.wait_for(stage));
+        if due {
+            if let Some(b) = self.buffers[stage].take_partial(now) {
+                self.route(stage, b);
+            }
+        }
+        if !self.buffers[stage].is_empty() && !self.flush_pending[stage] {
+            let oldest = self.buffers[stage].oldest_enqueue().expect("nonempty");
+            let at = (oldest + self.wait_for(stage)).max(now);
+            self.q.schedule(at, Ev::Flush { stage });
+            self.flush_pending[stage] = true;
+        }
+    }
+
+    /// Routes a batch to the least-loaded, non-excluded replica.
+    fn route(&mut self, stage: usize, batch: Batch) {
+        self.dispatch_batch_sum[stage] += batch.len() as f64;
+        self.dispatch_batch_n[stage] += 1;
+        let rid = self.stage_replicas[stage]
+            .iter()
+            .copied()
+            .filter(|&r| !self.replicas[r].excluded)
+            .min_by_key(|&r| {
+                (
+                    self.replicas[r].queue.len() + usize::from(self.replicas[r].busy),
+                    r,
+                )
+            })
+            .unwrap_or(self.stage_replicas[stage][0]); // all excluded: fall back
+        self.replicas[rid].queue.push_back(batch);
+        let depth: usize = self.stage_replicas[stage]
+            .iter()
+            .map(|&r| self.replicas[r].queue.len())
+            .sum();
+        if depth > self.peak_queue_depth[stage] {
+            self.peak_queue_depth[stage] = depth;
+        }
+        self.try_begin(rid);
+    }
+
+    /// Starts the replica on its next queued batch, if idle.
+    fn try_begin(&mut self, rid: usize) {
+        if self.replicas[rid].busy {
+            return;
+        }
+        let now = self.now();
+        let stage = self.replicas[rid].stage;
+        let deadline_budget = self.sim.cfg.slo;
+        loop {
+            let Some(mut batch) = self.replicas[rid].queue.pop_front() else {
+                // Idle: closed-loop stage-0 replicas self-feed.
+                if stage == 0 && self.sim.cfg.closed_loop {
+                    self.feed_closed_loop(rid);
+                }
+                return;
+            };
+            if self.sim.cfg.drop_late && !self.sim.cfg.closed_loop {
+                let est = self.est_remaining[stage];
+                let before = batch.samples.len();
+                batch
+                    .samples
+                    .retain(|s| now + est <= s.arrival + deadline_budget);
+                self.dropped += (before - batch.samples.len()) as u64;
+            }
+            if batch.samples.is_empty() {
+                continue;
+            }
+            self.start_exec(rid, batch);
+            return;
+        }
+    }
+
+    /// Pulls the next closed-loop batch from the backlog onto `rid`.
+    fn feed_closed_loop(&mut self, rid: usize) {
+        let stage = self.replicas[rid].stage;
+        debug_assert_eq!(stage, 0);
+        if self.replicas[rid].excluded {
+            return; // stragglers get no new work (§3.3)
+        }
+        let target = self.sim.stages[0].target_batch;
+        if self.backlog_cursor >= self.backlog.len() {
+            return;
+        }
+        if self.in_flight + target > self.in_flight_cap {
+            return; // backpressure: resume when completions drain
+        }
+        let now = self.now();
+        let end = (self.backlog_cursor + target).min(self.backlog.len());
+        let mut samples = Vec::with_capacity(end - self.backlog_cursor);
+        for i in self.backlog_cursor..end {
+            let mut s = self.backlog[i];
+            s.arrival = now; // closed loop: latency measured from dispatch
+            samples.push(s);
+        }
+        self.backlog_cursor = end;
+        self.in_flight += samples.len();
+        self.dispatch_batch_sum[0] += samples.len() as f64;
+        self.dispatch_batch_n[0] += 1;
+        let batch = Batch {
+            samples,
+            formed_at: now,
+        };
+        self.replicas[rid].queue.push_back(batch);
+        self.start_next(rid);
+    }
+
+    fn start_next(&mut self, rid: usize) {
+        if self.replicas[rid].busy {
+            return;
+        }
+        if let Some(batch) = self.replicas[rid].queue.pop_front() {
+            self.start_exec(rid, batch);
+        }
+    }
+
+    fn start_exec(&mut self, rid: usize, batch: Batch) {
+        let stage = self.replicas[rid].stage;
+        let spec = &self.sim.stages[stage];
+        let out = execute_batch(
+            self.sim.model,
+            &self.sim.ctrl,
+            &self.sim.lm,
+            &self.sim.lm.exit,
+            self.replicas[rid].gpu,
+            spec.layers.clone(),
+            &batch.samples,
+            spec.deferred_exits,
+            self.replicas[rid].slowdown,
+        );
+        self.util[rid].record_busy(out.duration, out.mean_occupancy);
+        let n = batch.samples.len().max(1) as f64;
+        self.replicas[rid].per_sample_secs_sum += out.duration.as_secs_f64() / n;
+        self.replicas[rid].busy = true;
+        self.replicas[rid].running = Some(batch);
+        self.q.schedule_after(out.duration, Ev::ExecDone { replica: rid });
+    }
+
+    fn on_exec_done(&mut self, rid: usize) {
+        let now = self.now();
+        let stage = self.replicas[rid].stage;
+        let stage_end = self.sim.stages[stage].layers.end;
+        let batch = self.replicas[rid]
+            .running
+            .take()
+            .expect("exec done without a running batch");
+        self.replicas[rid].busy = false;
+        self.replicas[rid].batches_done += 1;
+
+        let mut survivors = Vec::new();
+        for s in batch.samples {
+            if s.finishes_before(stage_end) {
+                self.complete(s, now);
+            } else {
+                survivors.push(s);
+            }
+        }
+        if !survivors.is_empty() {
+            let next = stage + 1;
+            assert!(next < self.sim.stages.len(), "survivors past the last stage");
+            let bytes = self.sim.model.boundary_bytes(stage_end - 1);
+            let tx = self
+                .sim
+                .tm
+                .batch_transfer_time(bytes, survivors.len() as f64);
+            let b = Batch {
+                samples: survivors,
+                formed_at: now,
+            };
+            self.q.schedule_after(tx, Ev::BatchReady { stage: next, batch: b });
+        }
+
+        if self.sim.cfg.detect_stragglers {
+            self.detect_straggler(rid);
+        }
+        self.try_begin(rid);
+        // Completions may have released backpressure: wake idle stage-0
+        // feeders.
+        if self.sim.cfg.closed_loop {
+            let feeders = self.stage_replicas[0].clone();
+            for r in feeders {
+                if !self.replicas[r].busy && self.replicas[r].queue.is_empty() {
+                    self.feed_closed_loop(r);
+                }
+            }
+        }
+    }
+
+    fn complete(&mut self, s: SimSample, now: SimTime) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        let lat = now.saturating_since(s.arrival);
+        self.latency.record(lat);
+        self.completed += 1;
+        if lat <= self.sim.cfg.slo {
+            self.within_slo += 1;
+        }
+        if s.correct {
+            self.correct += 1;
+        }
+        if self.sim.cfg.record_exit_events {
+            self.exit_events.push(ExitEvent {
+                at: now,
+                layers_executed: s.layers_executed,
+                exited_early: s.exited_at_ramp.is_some(),
+            });
+        }
+        self.last_completion = now;
+    }
+
+    /// Flags a replica whose mean per-sample time exceeds 1.8x the best
+    /// peer in its stage (after a warm-up of 3 batches) and re-routes its
+    /// queued work (§3.3 straggler handling).
+    fn detect_straggler(&mut self, rid: usize) {
+        let stage = self.replicas[rid].stage;
+        if self.stage_replicas[stage].len() < 2 || self.replicas[rid].excluded {
+            return;
+        }
+        let mean = |r: &Replica| -> Option<f64> {
+            if r.batches_done >= 3 {
+                Some(r.per_sample_secs_sum / r.batches_done as f64)
+            } else {
+                None
+            }
+        };
+        let Some(mine) = mean(&self.replicas[rid]) else {
+            return;
+        };
+        let best_peer = self.stage_replicas[stage]
+            .iter()
+            .filter(|&&r| r != rid && !self.replicas[r].excluded)
+            .filter_map(|&r| mean(&self.replicas[r]))
+            .fold(f64::INFINITY, f64::min);
+        if best_peer.is_finite() && mine > 1.8 * best_peer {
+            self.replicas[rid].excluded = true;
+            self.stragglers_detected.push(rid);
+            // Reassign its queued batches.
+            let queued: Vec<Batch> = self.replicas[rid].queue.drain(..).collect();
+            for b in queued {
+                self.route(stage, b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e3_hardware::ClusterSpec;
+    use e3_model::{zoo, RampStyle};
+    use e3_optimizer::{optimize_homogeneous, OptimizerConfig};
+    use e3_simcore::SeedSplitter;
+    use e3_workload::{ArrivalProcess, DatasetModel, WorkloadGenerator};
+    use crate::strategy::Strategy;
+
+    fn requests_closed(n: usize, ds: &DatasetModel, seed: u64) -> Vec<Request> {
+        let g = WorkloadGenerator::new(
+            ArrivalProcess::ClosedLoop { concurrency: 64 },
+            ds.clone(),
+            SimDuration::from_secs(60),
+        );
+        let mut rng = StdRng::seed_from_u64(SeedSplitter::new(seed).derive("reqs"));
+        g.generate(n, &mut rng)
+    }
+
+    fn run_strategy(
+        model: &EeModel,
+        strategy: &Strategy,
+        cluster: &ClusterSpec,
+        cfg: ServingConfig,
+        n: usize,
+        seed: u64,
+    ) -> RunReport {
+        let has_exits = model.has_exits();
+        let ctrl = RampController::all_enabled(model.num_ramps(), RampStyle::Independent);
+        let policy = if has_exits {
+            zoo::default_policy(model.name())
+        } else {
+            ExitPolicy::Entropy { threshold: 0.4 }
+        };
+        let stages = strategy.realize(model, cluster);
+        let sim = ServingSim::new(
+            model,
+            policy,
+            ctrl,
+            InferenceSim::new(),
+            stages,
+            LatencyModel::new(),
+            TransferModel::default(),
+            cfg,
+        );
+        let reqs = requests_closed(n, &DatasetModel::sst2(), seed);
+        sim.run(&reqs, seed)
+    }
+
+    #[test]
+    fn vanilla_bert_matches_fig7_anchor() {
+        // BERT-BASE b=8 on 16 V100: paper reports 6484 samples/s.
+        let model = zoo::bert_base();
+        let cluster = ClusterSpec::paper_homogeneous_v100();
+        let r = run_strategy(
+            &model,
+            &Strategy::Vanilla { batch: 8 },
+            &cluster,
+            ServingConfig::default(),
+            40_000,
+            1,
+        );
+        let g = r.goodput();
+        assert!((5800.0..7200.0).contains(&g), "goodput={g}");
+        assert_eq!(r.dropped, 0);
+    }
+
+    #[test]
+    fn deebert_crossover_with_batch_size() {
+        // fig. 7: DeeBERT beats BERT at b=1 but loses at b=8.
+        let bert = zoo::bert_base();
+        let dee = zoo::deebert();
+        let cluster = ClusterSpec::paper_homogeneous_v100();
+        let run = |m: &EeModel, s: Strategy| {
+            run_strategy(m, &s, &cluster, ServingConfig::default(), 20_000, 2).goodput()
+        };
+        let bert_1 = run(&bert, Strategy::Vanilla { batch: 1 });
+        let dee_1 = run(&dee, Strategy::NaiveEe { batch: 1 });
+        let bert_8 = run(&bert, Strategy::Vanilla { batch: 8 });
+        let dee_8 = run(&dee, Strategy::NaiveEe { batch: 8 });
+        assert!(dee_1 > bert_1, "b=1: dee {dee_1} bert {bert_1}");
+        assert!(dee_8 < bert_8, "b=8: dee {dee_8} bert {bert_8}");
+    }
+
+    #[test]
+    fn e3_plan_beats_baselines_at_batch_8() {
+        let dee = zoo::deebert();
+        let bert = zoo::bert_base();
+        let cluster = ClusterSpec::paper_homogeneous_v100();
+        // Build the E3 plan from a profile measured on this workload.
+        let ctrl = RampController::all_enabled(dee.num_ramps(), RampStyle::Independent);
+        let policy = zoo::default_policy("DeeBERT");
+        let infer = InferenceSim::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let hs = DatasetModel::sst2().sample_hardnesses(4000, &mut rng);
+        let profile = infer.exit_profile(&dee, &policy, &ctrl, &hs, &mut rng);
+        let plan = optimize_homogeneous(
+            &dee,
+            &ctrl,
+            &profile,
+            GpuKind::V100,
+            16,
+            8.0,
+            &TransferModel::default(),
+            &LatencyModel::new(),
+            &OptimizerConfig::default(),
+        );
+        let run = |m: &EeModel, s: Strategy| {
+            run_strategy(m, &s, &cluster, ServingConfig::default(), 40_000, 3).goodput()
+        };
+        let e3 = run(&dee, Strategy::Plan(plan));
+        let naive = run(&dee, Strategy::NaiveEe { batch: 8 });
+        let vanilla = run(&bert, Strategy::Vanilla { batch: 8 });
+        assert!(e3 > naive, "e3 {e3} naive {naive}");
+        assert!(e3 > vanilla, "e3 {e3} vanilla {vanilla}");
+    }
+
+    #[test]
+    fn open_loop_under_capacity_serves_everything() {
+        let model = zoo::bert_base();
+        let cluster = ClusterSpec::paper_homogeneous_v100();
+        let g = WorkloadGenerator::new(
+            ArrivalProcess::Poisson { rate: 2000.0 },
+            DatasetModel::sst2(),
+            SimDuration::from_secs(5),
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let reqs = g.generate(0, &mut rng);
+        let stages = Strategy::Vanilla { batch: 8 }.realize(&model, &cluster);
+        let ctrl = RampController::all_enabled(0, RampStyle::Independent);
+        let sim = ServingSim::new(
+            &model,
+            ExitPolicy::Entropy { threshold: 0.4 },
+            ctrl,
+            InferenceSim::new(),
+            stages,
+            LatencyModel::new(),
+            TransferModel::default(),
+            ServingConfig {
+                closed_loop: false,
+                horizon: Some(SimDuration::from_secs(5)),
+                ..Default::default()
+            },
+        );
+        let r = sim.run(&reqs, 4);
+        assert!(r.drop_rate() < 0.01, "drop rate {}", r.drop_rate());
+        let served_frac = r.completed as f64 / reqs.len() as f64;
+        assert!(served_frac > 0.99, "served {served_frac}");
+        assert!(r.latency.quantile_ms(0.99) <= 100.0);
+    }
+
+    #[test]
+    fn open_loop_overload_drops() {
+        let model = zoo::bert_base();
+        // A tiny cluster facing 5000 req/s must shed load.
+        let cluster = ClusterSpec::homogeneous(GpuKind::V100, 1, 1);
+        let g = WorkloadGenerator::new(
+            ArrivalProcess::Poisson { rate: 5000.0 },
+            DatasetModel::sst2(),
+            SimDuration::from_secs(2),
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        let reqs = g.generate(0, &mut rng);
+        let stages = Strategy::Vanilla { batch: 8 }.realize(&model, &cluster);
+        let ctrl = RampController::all_enabled(0, RampStyle::Independent);
+        let sim = ServingSim::new(
+            &model,
+            ExitPolicy::Entropy { threshold: 0.4 },
+            ctrl,
+            InferenceSim::new(),
+            stages,
+            LatencyModel::new(),
+            TransferModel::default(),
+            ServingConfig {
+                closed_loop: false,
+                horizon: Some(SimDuration::from_secs(2)),
+                ..Default::default()
+            },
+        );
+        let r = sim.run(&reqs, 5);
+        assert!(r.drop_rate() > 0.5, "drop rate {}", r.drop_rate());
+        // Whatever was served met the SLO (drops protect goodput).
+        assert!(r.within_slo as f64 / r.completed.max(1) as f64 > 0.95);
+    }
+
+    #[test]
+    fn straggler_detected_and_excluded() {
+        let model = zoo::bert_base();
+        let cluster = ClusterSpec::homogeneous(GpuKind::V100, 4, 2);
+        let stages = Strategy::Vanilla { batch: 8 }.realize(&model, &cluster);
+        let ctrl = RampController::all_enabled(0, RampStyle::Independent);
+        let sim = ServingSim::new(
+            &model,
+            ExitPolicy::Entropy { threshold: 0.4 },
+            ctrl,
+            InferenceSim::new(),
+            stages,
+            LatencyModel::new(),
+            TransferModel::default(),
+            ServingConfig {
+                straggler_slowdowns: vec![(2, 3.0)],
+                detect_stragglers: true,
+                ..Default::default()
+            },
+        );
+        let reqs = requests_closed(5000, &DatasetModel::sst2(), 6);
+        let r = sim.run(&reqs, 6);
+        assert_eq!(r.stragglers_detected, vec![2]);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let model = zoo::deebert();
+        let cluster = ClusterSpec::homogeneous(GpuKind::V100, 4, 2);
+        let a = run_strategy(
+            &model,
+            &Strategy::NaiveEe { batch: 4 },
+            &cluster,
+            ServingConfig::default(),
+            3000,
+            7,
+        );
+        let b = run_strategy(
+            &model,
+            &Strategy::NaiveEe { batch: 4 },
+            &cluster,
+            ServingConfig::default(),
+            3000,
+            7,
+        );
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.within_slo, b.within_slo);
+        assert_eq!(a.latency.samples_ms(), b.latency.samples_ms());
+    }
+
+    #[test]
+    fn naive_ee_underutilizes_gpu() {
+        // fig. 3: shrinking batches cut effective utilization.
+        let dee = zoo::deebert();
+        let bert = zoo::bert_base();
+        let cluster = ClusterSpec::homogeneous(GpuKind::V100, 2, 2);
+        let naive = run_strategy(
+            &dee,
+            &Strategy::NaiveEe { batch: 8 },
+            &cluster,
+            ServingConfig::default(),
+            10_000,
+            8,
+        );
+        let vanilla = run_strategy(
+            &bert,
+            &Strategy::Vanilla { batch: 8 },
+            &cluster,
+            ServingConfig::default(),
+            10_000,
+            8,
+        );
+        assert!(
+            naive.mean_effective_utilization() < vanilla.mean_effective_utilization() - 0.1,
+            "naive {} vanilla {}",
+            naive.mean_effective_utilization(),
+            vanilla.mean_effective_utilization()
+        );
+    }
+
+    #[test]
+    fn accuracy_reflects_exit_policy() {
+        let dee = zoo::deebert();
+        let cluster = ClusterSpec::homogeneous(GpuKind::V100, 2, 2);
+        let r = run_strategy(
+            &dee,
+            &Strategy::NaiveEe { batch: 4 },
+            &cluster,
+            ServingConfig::default(),
+            10_000,
+            9,
+        );
+        // Entropy 0.4 keeps accuracy within ~2% of the 0.92 ceiling.
+        assert!(r.accuracy() > 0.88, "accuracy {}", r.accuracy());
+        // And samples do exit early.
+        assert!(r.mean_depth() < 10.0, "mean depth {}", r.mean_depth());
+    }
+}

@@ -1,0 +1,46 @@
+//! # e3-runtime
+//!
+//! The serving runtime (§3.3, §4), as a deterministic discrete-event
+//! simulation.
+//!
+//! One [`engine::ServingSim`] executes a request stream against an
+//! execution strategy:
+//!
+//! * **Vanilla** — the stock model, data-parallel over all GPUs, static
+//!   batches (the paper's BERT-BASE / ResNet50 / T5 baselines);
+//! * **NaiveEe** — the EE model with batching but *without* E3: batches
+//!   shrink as samples exit, late layers run underutilized, and every
+//!   ramp is checked (the DeeBERT / B-ResNet50 / PABEE-with-batching
+//!   baselines);
+//! * **Plan** — an E3 [`e3_optimizer::SplitPlan`]: split replicas with
+//!   private queues, batch *fusion* at stage boundaries restoring the
+//!   constant batch size, pipelined transfers, SLO-slack drops, and
+//!   straggler detection.
+//!
+//! Module map:
+//!
+//! * [`sample`] — per-request materialized outcomes (exit layer,
+//!   correctness) drawn once at ingest from the synthetic semantics;
+//! * [`batch`] — dynamic batcher (open loop) and fusion buffers;
+//! * [`executor`] — per-replica batch execution-time computation, honoring
+//!   per-layer surviving batch sizes and ramp costs;
+//! * [`engine`] — the event loop;
+//! * [`report`] — run metrics: goodput, latency quartiles, utilization,
+//!   drops, accuracy, per-window exit observations;
+//! * [`strategy`] — strategy construction, including the data-parallel
+//!   pseudo-plans for the baselines;
+//! * [`autoreg`] — the autoregressive (token-loop) serving simulator used
+//!   for the T5/CALM and Llama experiments (figs. 10–12).
+
+pub mod autoreg;
+pub mod batch;
+pub mod engine;
+pub mod executor;
+pub mod report;
+pub mod sample;
+pub mod serial;
+pub mod strategy;
+
+pub use engine::{ServingConfig, ServingSim};
+pub use report::RunReport;
+pub use strategy::Strategy;

@@ -1,0 +1,192 @@
+//! Run metrics.
+
+use e3_simcore::metrics::{DurationHistogram, UtilizationTracker};
+use e3_simcore::stats::FiveNumber;
+use e3_simcore::{SimDuration, SimTime};
+
+/// One completion observation, kept for window-level profiling (fig. 21)
+/// and workload-adaptability analyses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExitEvent {
+    /// Completion time.
+    pub at: SimTime,
+    /// Layers the sample executed.
+    pub layers_executed: usize,
+    /// Whether it left via a ramp (vs. running the full model).
+    pub exited_early: bool,
+}
+
+/// Everything measured over one serving run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Wall (simulated) duration of the run.
+    pub duration: SimDuration,
+    /// Requests completed (any latency).
+    pub completed: u64,
+    /// Requests completed within the SLO.
+    pub within_slo: u64,
+    /// Requests dropped at admission (deadline unmeetable).
+    pub dropped: u64,
+    /// Correct predictions among completed requests.
+    pub correct: u64,
+    /// End-to-end latency distribution of completed requests.
+    pub latency: DurationHistogram,
+    /// Per-replica utilization trackers (indexed by global replica id).
+    pub replica_util: Vec<UtilizationTracker>,
+    /// Mean batch size at dispatch, per stage.
+    pub mean_dispatch_batch: Vec<f64>,
+    /// Exit events (for window-level profiling).
+    pub exit_events: Vec<ExitEvent>,
+    /// The SLO used for goodput accounting.
+    pub slo: SimDuration,
+    /// Replica ids flagged as stragglers during the run.
+    pub stragglers_detected: Vec<usize>,
+    /// Peak number of batches queued at any instant, per stage —
+    /// bounded by the engine's backpressure; useful for diagnosing
+    /// mis-balanced plans.
+    pub peak_queue_depth: Vec<usize>,
+}
+
+impl RunReport {
+    /// Goodput: SLO-compliant completions per second.
+    pub fn goodput(&self) -> f64 {
+        if self.duration.is_zero() {
+            return 0.0;
+        }
+        self.within_slo as f64 / self.duration.as_secs_f64()
+    }
+
+    /// Raw throughput: completions per second regardless of latency.
+    pub fn throughput(&self) -> f64 {
+        if self.duration.is_zero() {
+            return 0.0;
+        }
+        self.completed as f64 / self.duration.as_secs_f64()
+    }
+
+    /// Accuracy over completed requests.
+    pub fn accuracy(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.completed as f64
+    }
+
+    /// Drop rate over offered requests.
+    pub fn drop_rate(&self) -> f64 {
+        let offered = self.completed + self.dropped;
+        if offered == 0 {
+            return 0.0;
+        }
+        self.dropped as f64 / offered as f64
+    }
+
+    /// Latency box-plot summary in milliseconds (fig. 17).
+    pub fn latency_summary_ms(&self) -> FiveNumber {
+        self.latency.five_number_ms()
+    }
+
+    /// Mean effective GPU utilization across replicas (fig. 3's metric).
+    pub fn mean_effective_utilization(&self) -> f64 {
+        if self.replica_util.is_empty() || self.duration.is_zero() {
+            return 0.0;
+        }
+        self.replica_util
+            .iter()
+            .map(|u| u.effective_utilization(self.duration))
+            .sum::<f64>()
+            / self.replica_util.len() as f64
+    }
+
+    /// Mean busy fraction across replicas.
+    pub fn mean_busy_fraction(&self) -> f64 {
+        if self.replica_util.is_empty() || self.duration.is_zero() {
+            return 0.0;
+        }
+        self.replica_util
+            .iter()
+            .map(|u| u.busy_fraction(self.duration))
+            .sum::<f64>()
+            / self.replica_util.len() as f64
+    }
+
+    /// Mean executed layers over completed requests.
+    pub fn mean_depth(&self) -> f64 {
+        if self.exit_events.is_empty() {
+            return 0.0;
+        }
+        self.exit_events
+            .iter()
+            .map(|e| e.layers_executed as f64)
+            .sum::<f64>()
+            / self.exit_events.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        let mut latency = DurationHistogram::new();
+        latency.record(SimDuration::from_millis(10));
+        latency.record(SimDuration::from_millis(30));
+        RunReport {
+            duration: SimDuration::from_secs(2),
+            completed: 2,
+            within_slo: 1,
+            dropped: 2,
+            correct: 2,
+            latency,
+            replica_util: vec![UtilizationTracker::new()],
+            mean_dispatch_batch: vec![8.0],
+            exit_events: vec![
+                ExitEvent {
+                    at: SimTime::from_millis(10),
+                    layers_executed: 4,
+                    exited_early: true,
+                },
+                ExitEvent {
+                    at: SimTime::from_millis(30),
+                    layers_executed: 12,
+                    exited_early: false,
+                },
+            ],
+            slo: SimDuration::from_millis(20),
+            stragglers_detected: vec![],
+            peak_queue_depth: vec![1],
+        }
+    }
+
+    #[test]
+    fn rates() {
+        let r = report();
+        assert_eq!(r.goodput(), 0.5);
+        assert_eq!(r.throughput(), 1.0);
+        assert_eq!(r.accuracy(), 1.0);
+        assert_eq!(r.drop_rate(), 0.5);
+        assert_eq!(r.mean_depth(), 8.0);
+    }
+
+    #[test]
+    fn empty_report_is_zeroes() {
+        let r = RunReport {
+            duration: SimDuration::ZERO,
+            completed: 0,
+            within_slo: 0,
+            dropped: 0,
+            correct: 0,
+            latency: DurationHistogram::new(),
+            replica_util: vec![],
+            mean_dispatch_batch: vec![],
+            exit_events: vec![],
+            slo: SimDuration::from_millis(100),
+            stragglers_detected: vec![],
+            peak_queue_depth: vec![],
+        };
+        assert_eq!(r.goodput(), 0.0);
+        assert_eq!(r.accuracy(), 0.0);
+        assert_eq!(r.drop_rate(), 0.0);
+        assert_eq!(r.mean_effective_utilization(), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Execution strategies and their realization into stage specs.
+
+use std::ops::Range;
+
+use e3_hardware::{ClusterSpec, GpuKind};
+use e3_model::EeModel;
+use e3_optimizer::SplitPlan;
+
+/// How the serving engine executes the model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strategy {
+    /// Stock model (caller strips exits), data-parallel over the whole
+    /// cluster at a static batch size — the non-EE baselines.
+    Vanilla {
+        /// Static batch size.
+        batch: usize,
+    },
+    /// EE model, data-parallel with batching — batches shrink in place,
+    /// every ramp is checked. The DeeBERT-with-batching baseline.
+    NaiveEe {
+        /// Input batch size.
+        batch: usize,
+    },
+    /// An E3 split plan from the optimizer.
+    Plan(SplitPlan),
+}
+
+/// One pipeline stage as the engine sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSpec {
+    /// Layers this stage executes.
+    pub layers: Range<usize>,
+    /// Target (fusion) batch size.
+    pub target_batch: usize,
+    /// GPU kind of each replica.
+    pub replicas: Vec<GpuKind>,
+    /// Whether exit decisions are deferred to the stage boundary (E3's
+    /// split execution) or acted on at every ramp (naive EE).
+    pub deferred_exits: bool,
+}
+
+impl Strategy {
+    /// The input batch size of the strategy.
+    pub fn batch(&self) -> usize {
+        match self {
+            Strategy::Vanilla { batch } | Strategy::NaiveEe { batch } => *batch,
+            Strategy::Plan(p) => p.splits.first().map_or(1, |s| s.batch.round() as usize),
+        }
+    }
+
+    /// Realizes the strategy into stage specs for `model` on `cluster`.
+    ///
+    /// Baselines become a single stage replicated on every cluster GPU;
+    /// a plan maps each split to a stage with `replicas` devices of the
+    /// split's kind.
+    pub fn realize(&self, model: &EeModel, cluster: &ClusterSpec) -> Vec<StageSpec> {
+        match self {
+            Strategy::Vanilla { batch } | Strategy::NaiveEe { batch } => vec![StageSpec {
+                layers: 0..model.num_layers(),
+                target_batch: (*batch).max(1),
+                replicas: cluster.gpus().iter().map(|g| g.kind).collect(),
+                deferred_exits: false,
+            }],
+            Strategy::Plan(plan) => {
+                plan.assert_valid(model.num_layers());
+                plan.splits
+                    .iter()
+                    .map(|s| StageSpec {
+                        layers: s.layers.clone(),
+                        target_batch: (s.batch.round() as usize).max(1),
+                        replicas: vec![s.gpu; s.replicas],
+                        deferred_exits: true,
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e3_model::zoo;
+
+    #[test]
+    fn vanilla_is_one_stage_over_cluster() {
+        let m = zoo::bert_base();
+        let c = ClusterSpec::paper_homogeneous_v100();
+        let stages = Strategy::Vanilla { batch: 8 }.realize(&m, &c);
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].replicas.len(), 16);
+        assert_eq!(stages[0].layers, 0..12);
+        assert_eq!(stages[0].target_batch, 8);
+    }
+
+    #[test]
+    fn hetero_cluster_keeps_replica_kinds() {
+        let m = zoo::deebert();
+        let c = ClusterSpec::paper_heterogeneous();
+        let stages = Strategy::NaiveEe { batch: 4 }.realize(&m, &c);
+        let kinds: std::collections::BTreeSet<_> =
+            stages[0].replicas.iter().copied().collect();
+        assert!(kinds.len() > 1);
+    }
+
+    #[test]
+    fn batch_accessor() {
+        assert_eq!(Strategy::Vanilla { batch: 16 }.batch(), 16);
+        assert_eq!(Strategy::NaiveEe { batch: 2 }.batch(), 2);
+    }
+}

@@ -1,0 +1,230 @@
+//! Stable discrete-event queue.
+//!
+//! A simulation is a loop that pops the earliest scheduled event, advances
+//! the clock to its timestamp, and handles it (possibly scheduling more
+//! events). Correctness of the reproduction demands *stable* ordering:
+//! events scheduled for the same instant must pop in the order they were
+//! scheduled, otherwise runs would not be reproducible. [`EventQueue`]
+//! guarantees this with a monotonically increasing sequence number.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event of user-defined payload type `E` scheduled at a point in
+/// simulated time.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Insertion order, used to break ties deterministically.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, on ties,
+        // first-scheduled) event is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic priority queue of future events.
+///
+/// The queue also tracks the simulation clock: [`EventQueue::pop`] advances
+/// `now` to the popped event's timestamp, and scheduling an event in the
+/// past is rejected (it would make the simulation non-causal).
+///
+/// # Examples
+///
+/// ```
+/// use e3_simcore::{EventQueue, SimDuration, SimTime};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(SimTime::from_millis(5), "late");
+/// q.schedule(SimTime::from_millis(1), "early");
+/// q.schedule_after(SimDuration::from_millis(1), "also-early");
+///
+/// assert_eq!(q.pop().unwrap().event, "early");
+/// assert_eq!(q.pop().unwrap().event, "also-early");
+/// assert_eq!(q.now(), SimTime::from_millis(1));
+/// assert_eq!(q.pop().unwrap().event, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    now: SimTime,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock — scheduling into
+    /// the past is always a simulation bug.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, event });
+    }
+
+    /// Schedules `event` at `now + delay`.
+    pub fn schedule_after(&mut self, delay: crate::time::SimDuration, event: E) {
+        let at = self.now + delay;
+        self.schedule(at, event);
+    }
+
+    /// Pops the earliest event and advances the clock to its timestamp.
+    /// Returns `None` when the queue is drained.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now, "event queue went back in time");
+        self.now = ev.at;
+        self.processed += 1;
+        Some(ev)
+    }
+
+    /// Timestamp of the next pending event, if any, without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Discards all pending events (the clock is left unchanged). Used when
+    /// a simulation ends at a horizon with work still in flight.
+    pub fn clear_pending(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(3), 3u32);
+        q.schedule(SimTime::from_millis(1), 1u32);
+        q.schedule(SimTime::from_millis(2), 2u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        for i in 0..100u32 {
+            q.schedule(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), ());
+        q.schedule(SimTime::from_millis(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(5));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(7));
+        assert_eq!(q.processed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), ());
+        q.pop();
+        q.schedule(SimTime::from_millis(1), ());
+    }
+
+    #[test]
+    fn schedule_after_uses_current_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), "a");
+        q.pop();
+        q.schedule_after(SimDuration::from_millis(5), "b");
+        let ev = q.pop().unwrap();
+        assert_eq!(ev.at, SimTime::from_millis(15));
+        assert_eq!(ev.event, "b");
+    }
+
+    #[test]
+    fn clear_pending_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), ());
+        q.schedule(SimTime::from_millis(2), ());
+        q.clear_pending();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

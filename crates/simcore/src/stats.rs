@@ -1,0 +1,203 @@
+//! Summary statistics used throughout the reproduction.
+
+/// Arithmetic mean; returns 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; returns 0.0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolation quantile of an *unsorted* slice, `q` in `[0, 1]`.
+/// Returns 0.0 for an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&sorted, q)
+}
+
+/// Linear-interpolation quantile of an already-sorted slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Lag-`k` sample autocovariance of a series (biased, divides by `n`).
+pub fn autocovariance(xs: &[f64], k: usize) -> f64 {
+    let n = xs.len();
+    if n == 0 || k >= n {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (0..n - k).map(|i| (xs[i] - m) * (xs[i + k] - m)).sum::<f64>() / n as f64
+}
+
+/// Lag-`k` sample autocorrelation.
+pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
+    let c0 = autocovariance(xs, 0);
+    if c0 == 0.0 {
+        0.0
+    } else {
+        autocovariance(xs, k) / c0
+    }
+}
+
+/// Mean absolute percentage error between predictions and actuals.
+/// Pairs whose actual value is zero are skipped.
+pub fn mape(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "mape: length mismatch");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (p, a) in predicted.iter().zip(actual) {
+        if *a != 0.0 {
+            sum += ((p - a) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Root-mean-square error between two equally long series.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "rmse: length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let se: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).powi(2))
+        .sum();
+    (se / predicted.len() as f64).sqrt()
+}
+
+/// Five-number summary (min, p25, median, p75, max) plus mean — exactly
+/// the statistics shown in the paper's latency box plot (fig. 17).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNumber {
+    /// Minimum observation.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl FiveNumber {
+    /// Computes the summary from unsorted samples. Returns all zeros for an
+    /// empty slice.
+    pub fn from_samples(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return FiveNumber {
+                min: 0.0,
+                p25: 0.0,
+                median: 0.0,
+                p75: 0.0,
+                max: 0.0,
+                mean: 0.0,
+            };
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        FiveNumber {
+            min: sorted[0],
+            p25: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.50),
+            p75: quantile_sorted(&sorted, 0.75),
+            max: *sorted.last().expect("nonempty"),
+            mean: mean(xs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert_eq!(variance(&xs), 1.25);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_of_constant_is_zero() {
+        let xs = [5.0; 10];
+        assert_eq!(autocorrelation(&xs, 1), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_is_negative() {
+        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&xs, 1) < -0.9);
+        assert!(autocorrelation(&xs, 2) > 0.9);
+    }
+
+    #[test]
+    fn mape_and_rmse() {
+        let p = [2.0, 4.0];
+        let a = [1.0, 4.0];
+        assert!((mape(&p, &a) - 0.5).abs() < 1e-12);
+        assert!((rmse(&p, &a) - (0.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(mape(&[1.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn five_number_summary() {
+        let xs: Vec<f64> = (1..=101).map(f64::from).collect();
+        let s = FiveNumber::from_samples(&xs);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 51.0);
+        assert_eq!(s.p25, 26.0);
+        assert_eq!(s.p75, 76.0);
+        assert_eq!(s.max, 101.0);
+        assert_eq!(s.mean, 51.0);
+    }
+}

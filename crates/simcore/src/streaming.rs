@@ -1,0 +1,270 @@
+//! Streaming statistics: constant-memory estimators for long simulations.
+//!
+//! [`crate::metrics::DurationHistogram`] stores every observation for
+//! exact quantiles — right for experiment-scale runs, wrong for day-long
+//! soak simulations. [`P2Quantile`] implements the P² algorithm (Jain &
+//! Chlamtac, 1985): a five-marker parabolic estimator that tracks one
+//! quantile in O(1) memory and O(1) per observation. [`StreamingMoments`]
+//! keeps numerically stable running mean/variance (Welford).
+
+/// Streaming estimate of a single quantile via the P² algorithm.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimates of the quantile positions).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation counts).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q` in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside the open unit interval.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The tracked quantile.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations ingested.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Ingests one observation.
+    pub fn observe(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell k with q[k] <= x < q[k+1], adjusting extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+
+        // Adjust interior markers with the parabolic (or linear) formula.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let s = d.signum();
+                let candidate = self.parabolic(i, s);
+                let new_h = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, s)
+                };
+                self.heights[i] = new_h;
+                self.positions[i] += s;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + s / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + s) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - s) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = (i as f64 + s) as usize;
+        self.heights[i]
+            + s * (self.heights[j] - self.heights[i])
+                / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate. Before five observations, falls back
+    /// to the exact order statistic of what has been seen (0.0 if none).
+    pub fn estimate(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.count < 5 {
+            let mut seen = self.heights[..self.count].to_vec();
+            seen.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let idx = ((self.q * self.count as f64).ceil() as usize)
+                .clamp(1, self.count)
+                - 1;
+            return seen[idx];
+        }
+        self.heights[2]
+    }
+}
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct StreamingMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl StreamingMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0.0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn p2_matches_exact_on_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..50_000).map(|_| rng.gen::<f64>()).collect();
+        for q in [0.5, 0.9, 0.99] {
+            let mut est = P2Quantile::new(q);
+            for &x in &xs {
+                est.observe(x);
+            }
+            let exact = stats::quantile(&xs, q);
+            assert!(
+                (est.estimate() - exact).abs() < 0.01,
+                "q={q}: est {} exact {exact}",
+                est.estimate()
+            );
+        }
+    }
+
+    #[test]
+    fn p2_matches_exact_on_skewed() {
+        // Exponential-ish latencies: the realistic shape for tails.
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| -(rng.gen_range(f64::EPSILON..1.0f64)).ln() * 10.0)
+            .collect();
+        let mut est = P2Quantile::new(0.99);
+        for &x in &xs {
+            est.observe(x);
+        }
+        let exact = stats::quantile(&xs, 0.99);
+        let rel = (est.estimate() - exact).abs() / exact;
+        assert!(rel < 0.05, "est {} exact {exact}", est.estimate());
+    }
+
+    #[test]
+    fn p2_small_samples_exact() {
+        let mut est = P2Quantile::new(0.5);
+        assert_eq!(est.estimate(), 0.0);
+        for x in [3.0, 1.0, 2.0] {
+            est.observe(x);
+        }
+        assert_eq!(est.estimate(), 2.0);
+        assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1)")]
+    fn p2_rejects_degenerate_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn welford_matches_batch_stats() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..10_000).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let mut m = StreamingMoments::new();
+        for &x in &xs {
+            m.observe(x);
+        }
+        assert!((m.mean() - stats::mean(&xs)).abs() < 1e-9);
+        assert!((m.variance() - stats::variance(&xs)).abs() < 1e-9);
+        assert_eq!(m.count(), 10_000);
+    }
+
+    #[test]
+    fn welford_edge_cases() {
+        let mut m = StreamingMoments::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        m.observe(7.0);
+        assert_eq!(m.mean(), 7.0);
+        assert_eq!(m.variance(), 0.0);
+    }
+}

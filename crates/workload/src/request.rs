@@ -1,0 +1,46 @@
+//! The unit of work flowing through the serving system.
+
+use e3_simcore::SimTime;
+
+/// One inference request.
+///
+/// Only the properties that influence serving behaviour are materialized;
+/// actual input content never matters to E3 (§3: the system treats the
+/// model, and therefore its inputs, as a black box).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Dense, stream-unique identifier.
+    pub id: u64,
+    /// When the request arrives at the frontend. For closed-loop clients
+    /// this is [`SimTime::ZERO`] (the client always has work ready).
+    pub arrival: SimTime,
+    /// Latent input hardness in `[0, 1]`; drives exit depth.
+    pub hardness: f64,
+    /// Number of output tokens to generate (1 for classification).
+    pub output_tokens: u32,
+}
+
+impl Request {
+    /// Convenience constructor for classification requests.
+    pub fn classification(id: u64, arrival: SimTime, hardness: f64) -> Self {
+        Request {
+            id,
+            arrival,
+            hardness,
+            output_tokens: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_requests_emit_one_token() {
+        let r = Request::classification(7, SimTime::from_millis(3), 0.4);
+        assert_eq!(r.output_tokens, 1);
+        assert_eq!(r.id, 7);
+        assert_eq!(r.hardness, 0.4);
+    }
+}

@@ -1,0 +1,6 @@
+//! Helper-free crate that hosts the runnable examples of the `e3`
+//! workspace. Run them with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p e3-examples --example quickstart
+//! ```

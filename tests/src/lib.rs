@@ -1,0 +1,3 @@
+//! Integration-test crate: cross-crate tests live in `tests/`.
+//!
+//! Run with `cargo test -p e3-tests`.

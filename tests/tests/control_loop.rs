@@ -1,0 +1,106 @@
+//! The fig. 4 control loop: profiler → optimizer → runtime, across
+//! scheduling windows, including regime changes.
+
+use e3::{E3Config, E3System};
+use e3_hardware::ClusterSpec;
+use e3_model::zoo;
+use e3_simcore::stats::mape;
+use e3_workload::DatasetModel;
+
+fn system(seed: u64) -> E3System {
+    E3System::new(
+        zoo::deebert(),
+        zoo::default_policy("DeeBERT"),
+        ClusterSpec::paper_homogeneous_v100(),
+        E3Config {
+            seed,
+            requests_per_window: 5000,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn stationary_predictions_converge_tightly() {
+    let report = system(1).run_stationary(&DatasetModel::sst2(), 8);
+    // After warm-up, predicted vs observed survival at mid-model should
+    // be within a few percent (fig. 21).
+    let series = report.profile_series(6);
+    let predicted: Vec<f64> = series[3..].iter().map(|(p, _)| *p).collect();
+    let actual: Vec<f64> = series[3..]
+        .iter()
+        .map(|(_, o)| o.expect("observed"))
+        .collect();
+    let err = mape(&predicted, &actual);
+    assert!(err < 0.10, "MAPE {err}");
+}
+
+#[test]
+fn warmup_discovers_splits_without_losing_goodput() {
+    // The cold-start plan (no-exit forecast) is a single data-parallel
+    // split; exits still fire in it, so it is already decent. Warming up
+    // must discover a multi-split plan and never regress goodput.
+    let report = system(2).run_stationary(&DatasetModel::sst2(), 5);
+    assert_eq!(report.windows[0].plan.num_splits(), 1, "cold start");
+    let settled = report.windows.last().expect("windows");
+    assert!(settled.plan.num_splits() >= 2, "{}", settled.plan);
+    assert!(
+        settled.run.goodput() >= report.windows[0].run.goodput(),
+        "settled {} vs cold-start {}",
+        settled.run.goodput(),
+        report.windows[0].run.goodput()
+    );
+}
+
+#[test]
+fn regime_change_recovers_within_two_windows() {
+    let phases = vec![
+        DatasetModel::with_mix(0.8),
+        DatasetModel::with_mix(0.8),
+        DatasetModel::with_mix(0.8),
+        DatasetModel::with_mix(0.2),
+        DatasetModel::with_mix(0.2),
+        DatasetModel::with_mix(0.2),
+    ];
+    let report = system(3).run_windows(&phases);
+    // The drift spike at the switch settles by the second window after.
+    assert!(report.windows[3].drift > report.windows[2].drift);
+    assert!(
+        report.windows[5].drift < 0.05,
+        "post-reset drift {}",
+        report.windows[5].drift
+    );
+    // And goodput in the new regime is steady.
+    let w4 = report.windows[4].run.goodput();
+    let w5 = report.windows[5].run.goodput();
+    assert!(
+        (w5 - w4).abs() / w4 < 0.15,
+        "unsettled goodput: {w4} -> {w5}"
+    );
+}
+
+#[test]
+fn easy_mixes_produce_more_splits_than_hard() {
+    let easy = system(4).run_stationary(&DatasetModel::with_mix(0.9), 4);
+    let hard = system(4).run_stationary(&DatasetModel::with_mix(0.05), 4);
+    let easy_splits = easy.windows.last().expect("windows").plan.num_splits();
+    let hard_splits = hard.windows.last().expect("windows").plan.num_splits();
+    assert!(
+        easy_splits >= hard_splits,
+        "easy {easy_splits} hard {hard_splits}"
+    );
+}
+
+#[test]
+fn report_aggregates_are_consistent() {
+    let report = system(5).run_stationary(&DatasetModel::sst2(), 3);
+    let manual: u64 = report.windows.iter().map(|w| w.run.within_slo).sum();
+    let dur: f64 = report
+        .windows
+        .iter()
+        .map(|w| w.run.duration.as_secs_f64())
+        .sum();
+    assert!((report.goodput() - manual as f64 / dur).abs() < 1e-9);
+    assert!(report.accuracy() > 0.85);
+    assert!(report.mean_drift() >= 0.0);
+}

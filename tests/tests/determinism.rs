@@ -1,0 +1,84 @@
+//! Reproducibility: every layer of the stack is bit-for-bit
+//! deterministic in its seed — the property that makes the experiment
+//! tables in `EXPERIMENTS.md` regenerable.
+
+use e3::harness::{build_e3_plan, run_closed_loop, HarnessOpts, ModelFamily, SystemKind};
+use e3::{E3Config, E3System};
+use e3_hardware::ClusterSpec;
+use e3_model::zoo;
+use e3_workload::{ArrivalProcess, DatasetModel, WorkloadGenerator};
+use e3_simcore::SimDuration;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn plans_are_deterministic() {
+    let family = ModelFamily::nlp();
+    let cluster = ClusterSpec::paper_heterogeneous();
+    let ds = DatasetModel::sst2();
+    let opts = HarnessOpts::default();
+    let a = build_e3_plan(&family, &cluster, 8, &ds, &opts, 21);
+    let b = build_e3_plan(&family, &cluster, 8, &ds, &opts, 21);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn serving_runs_are_deterministic() {
+    let family = ModelFamily::nlp();
+    let cluster = ClusterSpec::paper_homogeneous_v100();
+    let ds = DatasetModel::sst2();
+    let opts = HarnessOpts::default();
+    let a = run_closed_loop(SystemKind::E3, &family, &cluster, 8, &ds, 8000, &opts, 22);
+    let b = run_closed_loop(SystemKind::E3, &family, &cluster, 8, &ds, 8000, &opts, 22);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.within_slo, b.within_slo);
+    assert_eq!(a.correct, b.correct);
+    assert_eq!(a.latency.samples_ms(), b.latency.samples_ms());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let family = ModelFamily::nlp();
+    let cluster = ClusterSpec::paper_homogeneous_v100();
+    let ds = DatasetModel::sst2();
+    let opts = HarnessOpts::default();
+    let a = run_closed_loop(SystemKind::E3, &family, &cluster, 8, &ds, 8000, &opts, 1);
+    let b = run_closed_loop(SystemKind::E3, &family, &cluster, 8, &ds, 8000, &opts, 2);
+    assert_ne!(a.latency.samples_ms(), b.latency.samples_ms());
+}
+
+#[test]
+fn control_loop_is_deterministic() {
+    let mk = || {
+        let sys = E3System::new(
+            zoo::deebert(),
+            zoo::default_policy("DeeBERT"),
+            ClusterSpec::paper_homogeneous_v100(),
+            E3Config {
+                seed: 23,
+                requests_per_window: 3000,
+                ..Default::default()
+            },
+        );
+        sys.run_stationary(&DatasetModel::sst2(), 3)
+    };
+    let a = mk();
+    let b = mk();
+    for (wa, wb) in a.windows.iter().zip(&b.windows) {
+        assert_eq!(wa.plan, wb.plan);
+        assert_eq!(wa.run.completed, wb.run.completed);
+        assert_eq!(wa.predicted.survival(), wb.predicted.survival());
+    }
+}
+
+#[test]
+fn workloads_are_deterministic() {
+    let g = WorkloadGenerator::new(
+        ArrivalProcess::Bursty(e3_workload::BurstyTraceConfig::twitter_like(500.0)),
+        DatasetModel::qnli(),
+        SimDuration::from_secs(20),
+    );
+    let a = g.generate(0, &mut StdRng::seed_from_u64(3));
+    let b = g.generate(0, &mut StdRng::seed_from_u64(3));
+    assert_eq!(a, b);
+}

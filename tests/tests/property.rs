@@ -1,0 +1,180 @@
+//! Property-based tests over the core data structures and algorithms.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use e3_hardware::{GpuKind, LatencyModel, TransferModel};
+use e3_model::{zoo, BatchProfile, EeModel, LayerSpec, RampController, RampSpec, Task};
+use e3_model::{ExitPolicy, InferenceSim};
+use e3_optimizer::{optimize_heterogeneous, optimize_homogeneous, OptimizerConfig};
+use e3_profiler::{ArimaModel, BatchProfileEstimator, EstimatorConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a valid survival profile for `layers` layers.
+fn survival_profile(layers: usize) -> impl Strategy<Value = BatchProfile> {
+    proptest::collection::vec(0.0f64..1.0, layers).prop_map(move |drops| {
+        let mut surv = vec![1.0];
+        let mut cur = 1.0f64;
+        for d in drops {
+            cur *= 1.0 - d * 0.3; // gradual, monotone decay
+            surv.push(cur);
+        }
+        BatchProfile::new(surv)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batch_profile_from_counts_is_valid(
+        exits in proptest::collection::vec(0u32..50, 1..24),
+    ) {
+        let total: u32 = exits.iter().sum::<u32>() + 10;
+        let exits_f: Vec<f64> = exits.iter().map(|&e| f64::from(e)).collect();
+        let p = BatchProfile::from_exit_counts(&exits_f, f64::from(total));
+        // Invariants: starts at 1, monotone non-increasing, within [0,1].
+        prop_assert!((p.survival_at(0) - 1.0).abs() < 1e-12);
+        for w in p.survival().windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12);
+        }
+        prop_assert!((0.0..=1.0).contains(&p.mean_depth_fraction()));
+    }
+
+    #[test]
+    fn homogeneous_plan_always_valid(
+        profile in survival_profile(12),
+        gpus in 1usize..24,
+        b0 in 1u32..33,
+    ) {
+        let model = zoo::deebert();
+        let ctrl = RampController::all_enabled(model.num_ramps(), e3_model::RampStyle::Independent);
+        let plan = optimize_homogeneous(
+            &model, &ctrl, &profile, GpuKind::V100, gpus, f64::from(b0),
+            &TransferModel::default(), &LatencyModel::new(), &OptimizerConfig::default(),
+        );
+        plan.assert_valid(12);
+        prop_assert!(plan.gpus_used() <= gpus);
+        prop_assert!(plan.goodput >= 0.0);
+        prop_assert!(plan.cycle_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn heterogeneous_plan_always_valid(
+        profile in survival_profile(12),
+        v100 in 0usize..8,
+        p100 in 0usize..8,
+        k80 in 1usize..12,
+    ) {
+        let model = zoo::deebert();
+        let ctrl = RampController::all_enabled(model.num_ramps(), e3_model::RampStyle::Independent);
+        let mut counts = BTreeMap::new();
+        counts.insert(GpuKind::V100, v100);
+        counts.insert(GpuKind::P100, p100);
+        counts.insert(GpuKind::K80, k80);
+        let plan = optimize_heterogeneous(
+            &model, &ctrl, &profile, &counts, 8.0,
+            &TransferModel::default(), &LatencyModel::new(),
+            &OptimizerConfig { max_splits: 3, ..Default::default() },
+        );
+        plan.assert_valid(12);
+        let used: usize = plan.splits.iter().map(|s| s.replicas).sum();
+        prop_assert!(used <= v100 + p100 + k80);
+        for s in &plan.splits {
+            let avail = counts[&s.gpu];
+            prop_assert!(s.replicas <= avail, "split uses {} of {} {:?}", s.replicas, avail, s.gpu);
+        }
+    }
+
+    #[test]
+    fn latency_model_monotone_in_batch(
+        work in 1.0f64..5000.0,
+        b1 in 1.0f64..64.0,
+        delta in 0.0f64..64.0,
+    ) {
+        let lm = LatencyModel::new();
+        for gpu in GpuKind::ALL {
+            let t1 = lm.layer_time(work, b1, gpu);
+            let t2 = lm.layer_time(work, b1 + delta, gpu);
+            prop_assert!(t2 >= t1, "{gpu}: t({}) < t({b1})", b1 + delta);
+        }
+    }
+
+    #[test]
+    fn arima_forecasts_are_finite(
+        xs in proptest::collection::vec(0.0f64..1.0, 20..60),
+    ) {
+        if let Ok(m) = ArimaModel::fit(&xs, 2, 1, 1) {
+            for v in m.forecast(5) {
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn estimator_forecast_always_valid(
+        windows in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 6), 1..20,
+        ),
+    ) {
+        let mut est = BatchProfileEstimator::new(6, EstimatorConfig::default());
+        for drops in windows {
+            let mut surv = vec![1.0];
+            let mut cur = 1.0f64;
+            for d in drops {
+                cur *= 1.0 - d * 0.4;
+                surv.push(cur);
+            }
+            est.observe_window(&BatchProfile::new(surv));
+        }
+        let f = est.forecast();
+        prop_assert!((f.survival_at(0) - 1.0).abs() < 1e-12);
+        for w in f.survival().windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&w[1]));
+        }
+    }
+
+    #[test]
+    fn exit_depth_weakly_monotone_in_threshold(
+        hardness in 0.05f64..0.95,
+        seed in 0u64..500,
+    ) {
+        // Averaged over ramp noise, looser entropy thresholds exit earlier.
+        let model = zoo::deebert();
+        let ctrl = RampController::all_enabled(model.num_ramps(), e3_model::RampStyle::Independent);
+        let sim = InferenceSim::new();
+        let depth = |t: f64| -> f64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 64;
+            (0..n).map(|_| {
+                sim.run_sample(&model, &ExitPolicy::Entropy { threshold: t }, &ctrl, hardness, &mut rng)
+                    .layers_executed as f64
+            }).sum::<f64>() / n as f64
+        };
+        prop_assert!(depth(0.5) <= depth(0.3) + 0.75);
+    }
+
+    #[test]
+    fn arbitrary_models_validate_or_reject(
+        layers in 1usize..30,
+        ramp_positions in proptest::collection::btree_set(0usize..30, 0..10),
+    ) {
+        let layer = LayerSpec { work_us: 100.0, fixed_us: 10.0, output_bytes: 64 };
+        let ramps: Vec<RampSpec> = ramp_positions
+            .iter()
+            .map(|&p| RampSpec { after_layer: p, work_us: 5.0, fixed_us: 1.0 })
+            .collect();
+        let ok = ramp_positions.iter().all(|&p| p + 1 < layers);
+        let result = EeModel::new(
+            "prop",
+            vec![layer; layers],
+            ramps,
+            Task::Classification { num_classes: 2 },
+            None,
+        );
+        prop_assert_eq!(result.is_ok(), ok);
+    }
+}
