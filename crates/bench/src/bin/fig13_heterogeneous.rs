@@ -3,8 +3,9 @@
 //! 16 V100 or 6 V100 + 8 P100 + 15 K80 — maximizes its goodput. Only E3
 //! can actually exploit the mix.
 
-use e3::harness::{run_closed_loop, HarnessOpts, ModelFamily, SystemKind};
-use e3_bench::{takeaway, Table, RUN_N, SEED};
+use e3::harness::ModelFamily;
+use e3_bench::exp::Experiment;
+use e3_bench::{takeaway, Table};
 use e3_hardware::ClusterSpec;
 use e3_workload::DatasetModel;
 
@@ -12,30 +13,25 @@ fn main() {
     println!(
         "Figure 13: NLP goodput at fixed cost ($0.013/s), best of 16 V100 vs 6 V100 + 8 P100 + 15 K80\n"
     );
-    let family = ModelFamily::nlp();
-    let ds = DatasetModel::sst2();
-    let opts = HarnessOpts::default();
-    let homo = ClusterSpec::paper_homogeneous_v100();
-    let hetero = ClusterSpec::paper_heterogeneous();
+    let homo = Experiment::new(
+        ModelFamily::nlp(),
+        ClusterSpec::paper_homogeneous_v100(),
+        DatasetModel::sst2(),
+    );
+    let hetero = Experiment::new(
+        ModelFamily::nlp(),
+        ClusterSpec::paper_heterogeneous(),
+        DatasetModel::sst2(),
+    );
     let batches = [1usize, 2, 4, 8];
     let cols: Vec<String> = batches.iter().map(|b| format!("b={b}")).collect();
     let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
     let mut t = Table::new("goodput vs batch size (fixed cost)", &col_refs);
     let mut results = Vec::new();
-    for (name, kind) in [
-        ("BERT-BASE", SystemKind::Vanilla),
-        ("DeeBERT", SystemKind::NaiveEe),
-        ("E3", SystemKind::E3),
-    ] {
+    for (name, kind) in homo.systems() {
         let gs: Vec<f64> = batches
             .iter()
-            .map(|&b| {
-                let a = run_closed_loop(kind, &family, &homo, b, &ds, RUN_N, &opts, SEED)
-                    .goodput();
-                let h = run_closed_loop(kind, &family, &hetero, b, &ds, RUN_N, &opts, SEED)
-                    .goodput();
-                a.max(h)
-            })
+            .map(|&b| homo.goodput(kind, b).max(hetero.goodput(kind, b)))
             .collect();
         t.row(name, &gs);
         results.push(gs);

@@ -5,31 +5,25 @@
 //! the lowest min/median/quartiles — only hard inputs pay the full path,
 //! which lands in the tail.
 
-use e3::harness::{run_closed_loop, HarnessOpts, ModelFamily, SystemKind};
-use e3_bench::{takeaway, Table, RUN_N, SEED};
+use e3::harness::ModelFamily;
+use e3_bench::exp::Experiment;
+use e3_bench::{takeaway, Table};
 use e3_hardware::ClusterSpec;
 use e3_workload::DatasetModel;
 
 fn main() {
     println!("Figure 17: latency distribution (ms), 50E/50H mix, batch 8\n");
-    let family = ModelFamily::nlp();
-    let ds = DatasetModel::with_mix(0.5);
-    let opts = HarnessOpts::default();
     for (cluster_name, cluster) in [
         ("homogeneous (16 V100)", ClusterSpec::paper_homogeneous_v100()),
         ("heterogeneous (6 V100 + 8 P100 + 15 K80)", ClusterSpec::paper_heterogeneous()),
     ] {
+        let exp = Experiment::new(ModelFamily::nlp(), cluster, DatasetModel::with_mix(0.5));
         let mut t = Table::new(
-            format!("{cluster_name}"),
+            cluster_name.to_string(),
             &["min", "p25", "median", "p75", "max"],
         );
-        for (name, kind) in [
-            ("BERT-BASE", SystemKind::Vanilla),
-            ("DeeBERT", SystemKind::NaiveEe),
-            ("E3", SystemKind::E3),
-        ] {
-            let r = run_closed_loop(kind, &family, &cluster, 8, &ds, RUN_N, &opts, SEED);
-            let s = r.latency_summary_ms();
+        for (name, kind) in exp.systems() {
+            let s = exp.run(kind, 8).latency_summary_ms();
             t.row_fmt(name, &[s.min, s.p25, s.median, s.p75, s.max], 1);
         }
         t.print();

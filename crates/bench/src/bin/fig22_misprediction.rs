@@ -4,16 +4,19 @@
 //! Errors cost only magnitude, never correctness (§3.1): an error of
 //! `e` makes the planner assume `(1-e)` of the true shrinkage.
 
-use e3::harness::{run_closed_loop, HarnessOpts, ModelFamily, SystemKind};
-use e3_bench::{takeaway, Table, RUN_N, SEED};
+use e3::harness::{ModelFamily, SystemKind};
+use e3_bench::exp::Experiment;
+use e3_bench::{takeaway, Table};
 use e3_hardware::ClusterSpec;
 use e3_workload::DatasetModel;
 
 fn main() {
     println!("Figure 22: goodput under profile misprediction (16 x V100, SST-2-like)\n");
-    let family = ModelFamily::nlp();
-    let cluster = ClusterSpec::paper_homogeneous_v100();
-    let ds = DatasetModel::sst2();
+    let mut exp = Experiment::new(
+        ModelFamily::nlp(),
+        ClusterSpec::paper_homogeneous_v100(),
+        DatasetModel::sst2(),
+    );
     // Negative error = the planner assumes MORE shrinkage than reality
     // (late stages under-provisioned); positive = less (conservative).
     let errors = [-1.0, -0.5, -0.2, 0.0, 0.2, 0.5, 1.0];
@@ -24,20 +27,8 @@ fn main() {
         let gs: Vec<f64> = errors
             .iter()
             .map(|&e| {
-                run_closed_loop(
-                    SystemKind::E3,
-                    &family,
-                    &cluster,
-                    batch,
-                    &ds,
-                    RUN_N,
-                    &HarnessOpts {
-                        profile_error: e,
-                        ..Default::default()
-                    },
-                    SEED,
-                )
-                .goodput()
+                exp.opts.profile_error = e;
+                exp.goodput(SystemKind::E3, batch)
             })
             .collect();
         t.row(format!("input batch = {batch}"), &gs);

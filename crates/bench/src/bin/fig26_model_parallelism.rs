@@ -2,46 +2,28 @@
 //! serially on the same data-parallel GPUs (eq. 1); with it ON, splits
 //! pipeline across GPUs (§3.2.1–2).
 
-use e3::harness::{run_closed_loop, HarnessOpts, ModelFamily, SystemKind};
-use e3_bench::{takeaway, Table, RUN_N, SEED};
+use e3::harness::ModelFamily;
+use e3_bench::exp::Experiment;
+use e3_bench::{takeaway, Table};
 use e3_hardware::ClusterSpec;
 use e3_workload::DatasetModel;
 
 fn main() {
     println!("Figure 26: model parallelism ON vs OFF (16 x V100)\n");
-    let family = ModelFamily::nlp();
-    let cluster = ClusterSpec::paper_homogeneous_v100();
-    let ds = DatasetModel::sst2();
+    let mut exp = Experiment::new(
+        ModelFamily::nlp(),
+        ClusterSpec::paper_homogeneous_v100(),
+        DatasetModel::sst2(),
+    );
     let batches = [2usize, 4, 8];
     let cols: Vec<String> = batches.iter().map(|b| format!("b={b}")).collect();
     let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
     let mut t = Table::new("goodput by mode", &col_refs);
 
     for (label, pipelining) in [("MP OFF", false), ("MP ON", true)] {
-        for (name, kind) in [
-            ("BERT-BASE", SystemKind::Vanilla),
-            ("DeeBERT", SystemKind::NaiveEe),
-            ("E3", SystemKind::E3),
-        ] {
-            let gs: Vec<f64> = batches
-                .iter()
-                .map(|&b| {
-                    run_closed_loop(
-                        kind,
-                        &family,
-                        &cluster,
-                        b,
-                        &ds,
-                        RUN_N,
-                        &HarnessOpts {
-                            pipelining,
-                            ..Default::default()
-                        },
-                        SEED,
-                    )
-                    .goodput()
-                })
-                .collect();
+        exp.opts.pipelining = pipelining;
+        for (name, kind) in exp.systems() {
+            let gs: Vec<f64> = batches.iter().map(|&b| exp.goodput(kind, b)).collect();
             t.row(format!("{label:6} {name}"), &gs);
         }
     }

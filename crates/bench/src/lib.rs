@@ -151,7 +151,76 @@ pub mod exp {
     use super::{Table, RUN_N, SEED};
     use e3::harness::{run_closed_loop, HarnessOpts, ModelFamily, SystemKind};
     use e3_hardware::ClusterSpec;
+    use e3_runtime::RunReport;
     use e3_workload::DatasetModel;
+
+    /// A figure's fixed experimental context — family, cluster, dataset,
+    /// harness options, request count, seed — so each binary only states
+    /// what varies.
+    pub struct Experiment {
+        /// Model family under study.
+        pub family: ModelFamily,
+        /// The deployment cluster.
+        pub cluster: ClusterSpec,
+        /// Workload dataset.
+        pub dataset: DatasetModel,
+        /// Harness knobs (SLO, pipelining, wrapper, ...).
+        pub opts: HarnessOpts,
+        /// Requests per measurement point.
+        pub n: usize,
+        /// Root seed.
+        pub seed: u64,
+    }
+
+    impl Experiment {
+        /// A context with the shared defaults ([`RUN_N`], [`SEED`],
+        /// default [`HarnessOpts`]).
+        pub fn new(family: ModelFamily, cluster: ClusterSpec, dataset: DatasetModel) -> Self {
+            Experiment {
+                family,
+                cluster,
+                dataset,
+                opts: HarnessOpts::default(),
+                n: RUN_N,
+                seed: SEED,
+            }
+        }
+
+        /// Replaces the harness options.
+        pub fn with_opts(mut self, opts: HarnessOpts) -> Self {
+            self.opts = opts;
+            self
+        }
+
+        /// Runs one closed-loop measurement point.
+        pub fn run(&self, kind: SystemKind, batch: usize) -> RunReport {
+            run_closed_loop(
+                kind,
+                &self.family,
+                &self.cluster,
+                batch,
+                &self.dataset,
+                self.n,
+                &self.opts,
+                self.seed,
+            )
+        }
+
+        /// Goodput of one measurement point.
+        pub fn goodput(&self, kind: SystemKind, batch: usize) -> f64 {
+            self.run(kind, batch).goodput()
+        }
+
+        /// The standard three-way comparison, labeled: the stock model
+        /// under vanilla serving, the EE model served naively, and E3.
+        pub fn systems(&self) -> [(String, SystemKind); 3] {
+            [
+                (self.family.stock.name().to_string(), SystemKind::Vanilla),
+                (self.family.ee.name().to_string(), SystemKind::NaiveEe),
+                ("E3".to_string(), SystemKind::E3),
+            ]
+        }
+    }
 
     /// Runs the three systems over a batch-size sweep and prints a table;
     /// returns measured goodputs as `[(system, per-batch goodput)]`.
@@ -164,23 +233,14 @@ pub mod exp {
         opts: &HarnessOpts,
         paper_rows: &[(&str, &[f64])],
     ) -> Vec<(String, Vec<f64>)> {
+        let exp = Experiment::new(family.clone(), cluster.clone(), dataset.clone())
+            .with_opts(opts.clone());
         let cols: Vec<String> = batches.iter().map(|b| format!("b={b}")).collect();
         let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
         let mut t = Table::new(title, &col_refs);
-        let systems = [
-            (family.stock.name().to_string(), SystemKind::Vanilla),
-            (family.ee.name().to_string(), SystemKind::NaiveEe),
-            ("E3".to_string(), SystemKind::E3),
-        ];
         let mut out = Vec::new();
-        for (name, kind) in systems {
-            let gs: Vec<f64> = batches
-                .iter()
-                .map(|&b| {
-                    run_closed_loop(kind, family, cluster, b, dataset, RUN_N, opts, SEED)
-                        .goodput()
-                })
-                .collect();
+        for (name, kind) in exp.systems() {
+            let gs: Vec<f64> = batches.iter().map(|&b| exp.goodput(kind, b)).collect();
             t.row(&name, &gs);
             out.push((name, gs));
         }

@@ -10,12 +10,13 @@ use e3_hardware::{ClusterSpec, ExitOverheads, LatencyModel, TransferModel};
 use e3_model::{zoo, EeModel, ExitPolicy, InferenceSim, RampController};
 use e3_optimizer::auto::plan_for_cluster;
 use e3_optimizer::{OptimizerConfig, SplitPlan};
-use e3_runtime::{RunReport, ServingConfig, ServingSim, Strategy};
+use e3_runtime::{RunReport, Strategy};
 use e3_simcore::{SeedSplitter, SimDuration};
 use e3_workload::{DatasetModel, Request, WorkloadGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::deploy::DeploymentBuilder;
 use crate::system::measure_profile;
 
 /// Which serving system to run.
@@ -186,6 +187,7 @@ pub fn build_e3_plan(
 
 /// Runs a closed-loop experiment: `n` requests of `dataset` at `batch`
 /// on `cluster` under the chosen system. Deterministic in `seed`.
+#[allow(clippy::too_many_arguments)] // one knob per experiment axis
 pub fn run_closed_loop(
     kind: SystemKind,
     family: &ModelFamily,
@@ -245,22 +247,12 @@ pub fn run_closed_loop(
             ctrl.keep_only(&keep);
         }
     }
-    let stages = strategy.realize(model, cluster);
-    let sim = ServingSim::new(
-        model,
-        family.policy,
-        ctrl,
-        infer,
-        stages,
-        family.latency_model(),
-        TransferModel::default(),
-        ServingConfig {
-            slo: opts.slo,
-            closed_loop: true,
-            fusion_waits: fusion_waits(&strategy, opts.slo),
-            ..Default::default()
-        },
-    );
+    let sim = DeploymentBuilder::new(model, family.policy, &strategy, cluster)
+        .with_ctrl(ctrl)
+        .with_inference(infer)
+        .with_latency_model(family.latency_model())
+        .with_slo(opts.slo)
+        .build();
     let reqs = closed_loop_requests(dataset, n, SeedSplitter::new(seed).derive("requests"));
     sim.run(&reqs, SeedSplitter::new(seed).derive("run"))
 }
@@ -291,24 +283,12 @@ pub fn run_open_loop(
             seed,
         )),
     };
-    let ctrl = RampController::all_enabled(model.num_ramps(), family.policy.ramp_style());
-    let stages = strategy.realize(model, cluster);
-    let sim = ServingSim::new(
-        model,
-        family.policy,
-        ctrl,
-        infer,
-        stages,
-        family.latency_model(),
-        TransferModel::default(),
-        ServingConfig {
-            slo: opts.slo,
-            closed_loop: false,
-            horizon: Some(generator.horizon()),
-            fusion_waits: fusion_waits(&strategy, opts.slo),
-            ..Default::default()
-        },
-    );
+    let sim = DeploymentBuilder::new(model, family.policy, &strategy, cluster)
+        .with_inference(infer)
+        .with_latency_model(family.latency_model())
+        .with_slo(opts.slo)
+        .open_loop(generator.horizon())
+        .build();
     let mut rng = StdRng::seed_from_u64(SeedSplitter::new(seed).derive("open-reqs"));
     let reqs = generator.generate(0, &mut rng);
     sim.run(&reqs, SeedSplitter::new(seed).derive("open-run"))
@@ -333,33 +313,6 @@ pub fn run_nlp(
         &HarnessOpts::default(),
         seed,
     )
-}
-
-/// Per-stage fusion waits: a stage that only a fraction `s_in` of the
-/// batch reaches fills its buffer once per `cycle / s_in`, so it must be
-/// allowed to wait about that long before flushing a partial batch.
-fn fusion_waits(strategy: &Strategy, slo: SimDuration) -> Vec<SimDuration> {
-    let base = SimDuration::from_millis(5);
-    match strategy {
-        Strategy::Plan(plan) => plan
-            .splits
-            .iter()
-            .map(|split| {
-                let s_in = if split.batch_time.is_zero() {
-                    1.0
-                } else {
-                    (split.effective_time.as_secs_f64() * split.replicas as f64
-                        / split.batch_time.as_secs_f64())
-                    .clamp(0.05, 1.0)
-                };
-                plan.cycle_time
-                    .mul_f64(1.5 / s_in)
-                    .max(base)
-                    .min(slo.mul_f64(0.6))
-            })
-            .collect(),
-        _ => Vec::new(),
-    }
 }
 
 fn closed_loop_requests(dataset: &DatasetModel, n: usize, seed: u64) -> Vec<Request> {

@@ -13,13 +13,14 @@ use e3_model::{BatchProfile, EeModel, ExitPolicy, InferenceSim, RampController};
 use e3_optimizer::auto::plan_for_cluster;
 use e3_optimizer::OptimizerConfig;
 use e3_profiler::{BatchProfileEstimator, WindowObserver};
-use e3_runtime::{ServingConfig, ServingSim, Strategy};
+use e3_runtime::Strategy;
 use e3_simcore::SeedSplitter;
 use e3_workload::{DatasetModel, Request};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::E3Config;
+use crate::deploy::DeploymentBuilder;
 use crate::report::{E3Report, WindowReport};
 
 /// A running E3 deployment: model + cluster + control loop.
@@ -115,39 +116,14 @@ impl E3System {
                     output_tokens: 1,
                 })
                 .collect();
-            let stages = Strategy::Plan(plan.clone()).realize(&self.model, &self.cluster);
-            let sim = ServingSim::new(
-                &self.model,
-                self.policy,
-                serve_ctrl,
-                self.infer,
-                stages,
-                self.lm,
-                self.tm,
-                ServingConfig {
-                    slo: self.cfg.slo,
-                    closed_loop: true,
-                    fusion_waits: plan
-                        .splits
-                        .iter()
-                        .map(|split| {
-                            let s_in = if split.batch_time.is_zero() {
-                                1.0
-                            } else {
-                                (split.effective_time.as_secs_f64()
-                                    * split.replicas as f64
-                                    / split.batch_time.as_secs_f64())
-                                .clamp(0.05, 1.0)
-                            };
-                            plan.cycle_time
-                                .mul_f64(1.5 / s_in)
-                                .max(e3_simcore::SimDuration::from_millis(5))
-                                .min(self.cfg.slo.mul_f64(0.6))
-                        })
-                        .collect(),
-                    ..Default::default()
-                },
-            );
+            let strategy = Strategy::Plan(plan.clone());
+            let sim = DeploymentBuilder::new(&self.model, self.policy, &strategy, &self.cluster)
+                .with_ctrl(serve_ctrl)
+                .with_inference(self.infer)
+                .with_latency_model(self.lm)
+                .with_transfer_model(self.tm)
+                .with_slo(self.cfg.slo)
+                .build();
             let run = sim.run(&requests, seeds.derive_indexed("window-run", w as u64));
 
             // Observe the realized profile.

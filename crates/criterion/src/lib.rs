@@ -1,0 +1,205 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion 0.5 API the workspace's benches
+//! use (`Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Throughput`,
+//! `criterion_group!`, `criterion_main!`). Instead of criterion's
+//! statistical sampling it runs each benchmark a handful of times and
+//! prints the median wall-clock duration — enough to compare runs by
+//! eye, cheap enough to execute anywhere.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export for `b.iter(|| black_box(...))`-style benches.
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Throughput annotation (accepted, echoed in the report line).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Median duration of the measured iterations, in nanoseconds.
+    median_ns: u128,
+}
+
+impl Bencher {
+    /// Times `f`: one warm-up call, then a few measured calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let mut samples: Vec<u128> = (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f());
+                t.elapsed().as_nanos()
+            })
+            .collect();
+        samples.sort_unstable();
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn report(group: Option<&str>, id: &str, throughput: Option<Throughput>, median_ns: u128) {
+    let name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let secs = median_ns as f64 / 1e9;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if secs > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 / secs)
+        }
+        Some(Throughput::Bytes(n)) if secs > 0.0 => {
+            format!("  ({:.0} B/s)", n as f64 / secs)
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:<40} {:>12.3} ms{rate}", median_ns as f64 / 1e6);
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark over `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { median_ns: 0 };
+        f(&mut b, input);
+        report(Some(&self.name), &id.name, self.throughput, b.median_ns);
+        self
+    }
+
+    /// Runs a benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { median_ns: 0 };
+        f(&mut b);
+        report(Some(&self.name), &id.to_string(), self.throughput, b.median_ns);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring criterion's `Criterion` manager.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { median_ns: 0 };
+        f(&mut b);
+        report(None, &name.to_string(), None, b.median_ns);
+        self
+    }
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.throughput(Throughput::Elements(10))
+            .bench_with_input(BenchmarkId::from_parameter(1), &3u64, |b, &x| {
+                b.iter(|| (0..100).map(|i| i * x).sum::<u64>())
+            });
+        g.finish();
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("fit", 32).to_string(), "fit/32");
+        assert_eq!(BenchmarkId::from_parameter("e3").to_string(), "e3");
+    }
+}

@@ -150,8 +150,8 @@ impl EeModel {
             return Err(ModelError::Empty);
         }
         for l in &layers {
-            if !(l.work_us >= 0.0 && l.work_us.is_finite())
-                || !(l.fixed_us >= 0.0 && l.fixed_us.is_finite())
+            if !(l.work_us >= 0.0 && l.work_us.is_finite() && l.fixed_us >= 0.0
+                && l.fixed_us.is_finite())
             {
                 return Err(ModelError::InvalidCost { what: "layer" });
             }
@@ -163,8 +163,8 @@ impl EeModel {
             if r.after_layer == layers.len() - 1 {
                 return Err(ModelError::RampAfterFinalLayer);
             }
-            if !(r.work_us >= 0.0 && r.work_us.is_finite())
-                || !(r.fixed_us >= 0.0 && r.fixed_us.is_finite())
+            if !(r.work_us >= 0.0 && r.work_us.is_finite() && r.fixed_us >= 0.0
+                && r.fixed_us.is_finite())
             {
                 return Err(ModelError::InvalidCost { what: "ramp" });
             }

@@ -19,6 +19,7 @@ use crate::plan::SplitPlan;
 
 /// Optimizes a plan for `cluster` at batch `b0`, dispatching to the
 /// homogeneous DP or the heterogeneity-aware solver as appropriate.
+#[allow(clippy::too_many_arguments)] // the DP inputs of fig. 6
 pub fn plan_for_cluster(
     model: &EeModel,
     ctrl: &RampController,
@@ -87,7 +88,7 @@ pub fn best_plan_over_batches(
         }
         let better = best
             .as_ref()
-            .map_or(true, |(_, bp)| plan.goodput > bp.goodput);
+            .is_none_or(|(_, bp)| plan.goodput > bp.goodput);
         if better {
             best = Some((b0, plan));
         }

@@ -27,6 +27,9 @@ use crate::dp::build_plan_hetero;
 use crate::plan::SplitPlan;
 use crate::stage::{boundary_transfer_surviving, stage_cost};
 
+/// One assigned stage: (start layer, end layer, replicas, GPU kind).
+type StageAssignment = (usize, usize, usize, GpuKind);
+
 /// Enumerates boundary sets: sorted interior cut positions in `1..l`,
 /// with at most `max_stages - 1` cuts. Includes the empty set (1 stage).
 pub(crate) fn boundary_sets(l: usize, max_stages: usize) -> Vec<Vec<usize>> {
@@ -134,7 +137,7 @@ pub fn optimize_heterogeneous(
 
     let l = model.num_layers();
     // (bottleneck, cost, stages)
-    let mut best: Option<(f64, f64, Vec<(usize, usize, usize, GpuKind)>)> = None;
+    let mut best: Option<(f64, f64, Vec<StageAssignment>)> = None;
 
     for cuts in boundary_sets(l, cfg.max_splits.max(1)) {
         let stages = stages_of(l, &cuts);
@@ -213,7 +216,7 @@ pub fn optimize_heterogeneous(
                     }
                 };
                 if better {
-                    let built: Vec<(usize, usize, usize, GpuKind)> = stages
+                    let built: Vec<StageAssignment> = stages
                         .iter()
                         .enumerate()
                         .map(|(i, &(a, b))| (a, b, stage_m[i], kinds[assign[i]].0))
@@ -257,7 +260,7 @@ pub fn min_cost_plan(
     }
     let l = model.num_layers();
     let lambda = b0 / target_goodput; // required bottleneck in seconds
-    let mut best: Option<(f64, Vec<(usize, usize, usize, GpuKind)>)> = None;
+    let mut best: Option<(f64, Vec<StageAssignment>)> = None;
 
     for cuts in boundary_sets(l, cfg.max_splits.max(1)) {
         let stages = stages_of(l, &cuts);
@@ -306,9 +309,9 @@ pub fn min_cost_plan(
                 cost += need as f64 * kinds[ki].0.cost_per_sec();
             }
             if feasible {
-                let better = best.as_ref().map_or(true, |(bc, _)| cost < *bc);
+                let better = best.as_ref().is_none_or(|(bc, _)| cost < *bc);
                 if better {
-                    let built: Vec<(usize, usize, usize, GpuKind)> = stages
+                    let built: Vec<StageAssignment> = stages
                         .iter()
                         .enumerate()
                         .map(|(i, &(a, b))| (a, b, stage_m[i], kinds[assign[i]].0))

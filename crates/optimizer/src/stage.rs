@@ -38,6 +38,7 @@ pub struct StageCost {
 /// `b0` is the *constant* batch E3 maintains: the batch entering the
 /// stage is refused to `b0` regardless of upstream exits; within the
 /// stage the expected batch is `b0 · survival[k] / survival[start]`.
+#[allow(clippy::too_many_arguments)] // the DP inputs of fig. 6
 pub fn stage_cost(
     model: &EeModel,
     ctrl: &RampController,

@@ -23,12 +23,19 @@
 //! semantics and evaluates steady-state throughput analytically (pipeline
 //! bottleneck), which matches the closed-loop setting of the paper's LLM
 //! experiments.
+//!
+//! The baseline arms share the kernel's accounting primitives: batch
+//! wall-time accumulates on an [`EventQueue`] clock in integer-nanosecond
+//! [`SimDuration`]s (the E3 arm's pipeline-bottleneck math stays in
+//! floating seconds — it is an analytic rate, not a clock).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use e3_hardware::{GpuKind, LatencyModel};
 use e3_model::{EeModel, ExitPolicy, InferenceSim, RampController};
+use e3_simcore::stats;
+use e3_simcore::{EventQueue, SimDuration, SimTime};
 use e3_workload::DatasetModel;
 
 /// How the autoregressive model is served.
@@ -115,12 +122,12 @@ pub fn simulate_autoreg(
         requests.push(tokens);
     }
     let total_tokens: usize = requests.iter().map(Vec::len).sum();
-    let mean_depth = requests
+    let depths: Vec<f64> = requests
         .iter()
         .flat_map(|r| r.iter())
         .map(|t| (t.layers_executed - enc) as f64)
-        .sum::<f64>()
-        / total_tokens as f64;
+        .collect();
+    let mean_depth = stats::mean(&depths);
 
     let layer_cost = |k: usize| {
         let l = model.layers()[k];
@@ -133,60 +140,60 @@ pub fn simulate_autoreg(
     let head_cost = ar.lm_head.work_us + ar.lm_head.fixed_us;
 
     // Encoder time for a batch of b.
-    let encoder_time = |b: f64| -> f64 {
+    let encoder_time = |b: f64| -> SimDuration {
         (0..enc)
-            .map(|k| lm.layer_time(layer_cost(k), b, gpu).as_secs_f64())
-            .sum()
+            .map(|k| lm.layer_time(layer_cost(k), b, gpu))
+            .fold(SimDuration::ZERO, |acc, t| acc + t)
     };
     // One full decoder pass (no exits) at batch b, including the head.
-    let full_decoder_pass = |b: f64| -> f64 {
-        let layers: f64 = (enc..model.num_layers())
-            .map(|k| lm.layer_time(layer_cost(k), b, gpu).as_secs_f64())
-            .sum();
-        layers + lm.layer_time(head_cost, b, gpu).as_secs_f64()
+    let full_decoder_pass = |b: f64| -> SimDuration {
+        (enc..model.num_layers())
+            .map(|k| lm.layer_time(layer_cost(k), b, gpu))
+            .fold(lm.layer_time(head_cost, b, gpu), |acc, t| acc + t)
     };
 
-    let (total_time_per_gpu_group, survival) = match strategy {
+    // The baseline arms run a lockstep batch loop on the shared simulated
+    // clock, like the serial barrier driver.
+    let mut q: EventQueue<()> = EventQueue::new();
+    let survival = match strategy {
         AutoRegStrategy::VanillaStatic => {
             // Batches of b0 requests; decode until the longest finishes.
-            let mut total = 0.0;
             for chunk in requests.chunks(b0) {
                 let b = chunk.len() as f64;
                 let t_max = chunk.iter().map(Vec::len).max().expect("nonempty");
-                total += encoder_time(b) + t_max as f64 * full_decoder_pass(b);
+                q.advance(encoder_time(b) + full_decoder_pass(b).mul_f64(t_max as f64));
             }
-            (total, 0.0)
+            0.0
         }
         AutoRegStrategy::NaiveEeSequential => {
             // One request at a time, batch 1, exits honored, every paid
             // ramp charged.
-            let mut total = 0.0;
             for req in &requests {
-                total += encoder_time(1.0);
+                let mut t_req = encoder_time(1.0);
                 for t in req {
                     for k in enc..t.layers_executed {
-                        total += lm.layer_time(layer_cost(k), 1.0, gpu).as_secs_f64();
+                        t_req += lm.layer_time(layer_cost(k), 1.0, gpu);
                     }
                     for &ri in &t.ramps_paid {
-                        total += lm.layer_time(ramp_cost(ri), 1.0, gpu).as_secs_f64();
+                        t_req += lm.layer_time(ramp_cost(ri), 1.0, gpu);
                         // Acting on each check costs a device-host sync.
-                        total += lm.exit.reform_time(1.0).as_secs_f64();
+                        t_req += lm.exit.reform_time(1.0);
                     }
                     if t.layers_executed == model.num_layers() {
-                        total += lm.layer_time(head_cost, 1.0, gpu).as_secs_f64();
+                        t_req += lm.layer_time(head_cost, 1.0, gpu);
                     }
                 }
+                q.advance(t_req);
             }
-            (total, 0.0)
+            0.0
         }
         AutoRegStrategy::NaiveEeBatched => {
             assert!(
                 requests.iter().all(|r| r.len() == 1),
                 "batched naive EE supports single-token outputs only"
             );
-            let mut total = 0.0;
             for chunk in requests.chunks(b0) {
-                total += encoder_time(chunk.len() as f64);
+                let mut t_chunk = encoder_time(chunk.len() as f64);
                 for k in enc..model.num_layers() {
                     let active = chunk
                         .iter()
@@ -195,11 +202,11 @@ pub fn simulate_autoreg(
                     if active == 0.0 {
                         break;
                     }
-                    total += lm.layer_time(layer_cost(k), active, gpu).as_secs_f64();
+                    t_chunk += lm.layer_time(layer_cost(k), active, gpu);
                     if let Some(ri) = model.ramp_after(k) {
                         if ctrl.pays_cost_at(ri) {
-                            total += lm.layer_time(ramp_cost(ri), active, gpu).as_secs_f64();
-                            total += lm.exit.reform_time(active).as_secs_f64();
+                            t_chunk += lm.layer_time(ramp_cost(ri), active, gpu);
+                            t_chunk += lm.exit.reform_time(active);
                         }
                     }
                 }
@@ -208,10 +215,11 @@ pub fn simulate_autoreg(
                     .filter(|r| r[0].layers_executed == model.num_layers())
                     .count() as f64;
                 if finishers > 0.0 {
-                    total += lm.layer_time(head_cost, finishers, gpu).as_secs_f64();
+                    t_chunk += lm.layer_time(head_cost, finishers, gpu);
                 }
+                q.advance(t_chunk);
             }
-            (total, 0.0)
+            0.0
         }
         AutoRegStrategy::E3 { boundary } => {
             assert!(
@@ -229,7 +237,7 @@ pub fn simulate_autoreg(
             // Stage A: token batch at b0, layers enc..boundary with ramp
             // costs inside, plus amortized encoder work per token.
             let mean_tokens = total_tokens as f64 / n_requests as f64;
-            let mut t_a = encoder_time(b) / mean_tokens;
+            let mut t_a = encoder_time(b).as_secs_f64() / mean_tokens;
             for k in enc..boundary {
                 // Expected surviving batch inside the stage.
                 let surv_k = requests
@@ -305,7 +313,7 @@ pub fn simulate_autoreg(
     };
 
     // Baselines: each GPU processes an equal share of the batches.
-    let wall = total_time_per_gpu_group / n_gpus as f64;
+    let wall = q.now().saturating_since(SimTime::ZERO).as_secs_f64() / n_gpus as f64;
     AutoRegReport {
         goodput: n_requests as f64 / wall,
         tokens_per_sec: total_tokens as f64 / wall,
@@ -336,8 +344,13 @@ pub fn pick_boundary(
         exits[out.layers_executed] += 1;
     }
     let mut alive = n;
-    for k in enc + 1..model.num_layers() {
-        alive -= exits[k];
+    for (k, &exited) in exits
+        .iter()
+        .enumerate()
+        .take(model.num_layers())
+        .skip(enc + 1)
+    {
+        alive -= exited;
         if (alive as f64 / n as f64) <= frac {
             return k;
         }

@@ -175,6 +175,39 @@ mod tests {
     }
 
     #[test]
+    fn empty_buffer_flush_is_noop() {
+        let mut b = FusionBuffer::new(4);
+        assert!(b.is_empty());
+        assert!(b.take_full(SimTime::from_millis(1)).is_none());
+        assert!(b.take_partial(SimTime::from_millis(1)).is_none());
+        assert!(b.oldest_enqueue().is_none());
+    }
+
+    #[test]
+    fn batch_exactly_at_target_drains_buffer() {
+        let mut b = FusionBuffer::new(3);
+        for i in 0..3 {
+            b.push(sample(i), SimTime::from_millis(i));
+        }
+        let batch = b.take_full(SimTime::from_millis(3)).expect("exactly full");
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.formed_at, SimTime::from_millis(3));
+        assert!(b.is_empty());
+        assert!(b.oldest_enqueue().is_none(), "wait clock resets on drain");
+    }
+
+    #[test]
+    fn oldest_enqueue_advances_as_head_drains() {
+        let mut b = FusionBuffer::new(2);
+        b.push(sample(0), SimTime::from_millis(1));
+        b.push(sample(1), SimTime::from_millis(2));
+        b.push(sample(2), SimTime::from_millis(3));
+        b.take_full(SimTime::from_millis(3)).expect("full");
+        // The surviving sample's enqueue time now bounds the wait.
+        assert_eq!(b.oldest_enqueue(), Some(SimTime::from_millis(3)));
+    }
+
+    #[test]
     fn take_full_respects_target_not_backlog() {
         let mut b = FusionBuffer::new(2);
         for i in 0..5 {

@@ -1,14 +1,17 @@
-//! The serving event loop.
+//! The serving simulator facade.
 //!
 //! A [`ServingSim`] executes one request stream against one realized
-//! strategy (stage specs) on the calibrated hardware model. Everything is
+//! strategy (stage specs) on the calibrated hardware model, by assembling
+//! policies for the unified [`crate::kernel`] event loop. Everything is
 //! deterministic: a single seeded RNG materializes per-request outcomes
 //! at ingest, the event queue breaks ties FIFO, and replica selection is
 //! by (queue length, id).
 //!
-//! The loop implements the paper's §3.3/§4 runtime behaviours:
+//! The kernel + default policies implement the paper's §3.3/§4 runtime
+//! behaviours:
 //!
-//! * dynamic batching at the frontend (full batch or deadline flush);
+//! * dynamic batching at the frontend (full batch or deadline flush) —
+//!   [`crate::kernel::FusionBatching`];
 //! * per-replica private queues;
 //! * batch **fusion** between stages — surviving samples from multiple
 //!   upstream batches re-form full batches (the constant-batch-size
@@ -16,24 +19,27 @@
 //! * pipelining — transfers are events, so compute and communication
 //!   overlap naturally;
 //! * admission drops when a request's deadline is unmeetable (Clockwork
-//!   style);
+//!   style) — [`crate::kernel::SloSlackAdmission`];
 //! * straggler detection by per-replica service-time monitoring, with
-//!   exclusion from future assignment (§3.3).
-
-use std::collections::VecDeque;
+//!   exclusion from future assignment (§3.3) —
+//!   [`crate::kernel::RelativeSlowdown`].
+//!
+//! [`ServingSim::run`] uses the defaults derived from [`ServingConfig`];
+//! [`ServingSim::run_with`] injects arbitrary policies and an observer.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use e3_hardware::{GpuKind, LatencyModel, TransferModel};
+use e3_hardware::{LatencyModel, TransferModel};
 use e3_model::{EeModel, ExitPolicy, InferenceSim, RampController};
-use e3_simcore::metrics::{DurationHistogram, UtilizationTracker};
-use e3_simcore::{EventQueue, SimDuration, SimTime};
+use e3_simcore::{SimDuration, SimTime};
 use e3_workload::Request;
 
-use crate::batch::{Batch, FusionBuffer};
-use crate::executor::execute_batch;
-use crate::report::{ExitEvent, RunReport};
+use crate::kernel::{
+    AdmitAll, FusionBatching, Kernel, KernelPolicies, NoStragglerDetection, NullObserver,
+    RelativeSlowdown, RunObserver, SloSlackAdmission,
+};
+use crate::report::RunReport;
 use crate::sample::SimSample;
 use crate::strategy::StageSpec;
 
@@ -85,69 +91,14 @@ impl Default for ServingConfig {
 
 /// The serving simulator. Construct once, then [`ServingSim::run`].
 pub struct ServingSim<'a> {
-    model: &'a EeModel,
-    policy: ExitPolicy,
-    ctrl: RampController,
-    infer: InferenceSim,
-    stages: Vec<StageSpec>,
-    lm: LatencyModel,
-    tm: TransferModel,
-    cfg: ServingConfig,
-}
-
-#[derive(Debug, Clone)]
-enum Ev {
-    Arrival(usize),
-    ExecDone { replica: usize },
-    BatchReady { stage: usize, batch: Batch },
-    Flush { stage: usize },
-}
-
-struct Replica {
-    stage: usize,
-    gpu: GpuKind,
-    queue: VecDeque<Batch>,
-    busy: bool,
-    running: Option<Batch>,
-    slowdown: f64,
-    excluded: bool,
-    batches_done: u32,
-    per_sample_secs_sum: f64,
-}
-
-struct Engine<'a> {
-    sim: &'a ServingSim<'a>,
-    q: EventQueue<Ev>,
-    replicas: Vec<Replica>,
-    stage_replicas: Vec<Vec<usize>>,
-    buffers: Vec<FusionBuffer>,
-    flush_pending: Vec<bool>,
-    /// Worst-case remaining service (no exits, full batch) from each
-    /// stage's start to completion — the admission-drop estimate.
-    est_remaining: Vec<SimDuration>,
-    backlog: Vec<SimSample>,
-    backlog_cursor: usize,
-    /// Samples admitted at stage 0 and not yet completed; the closed-loop
-    /// feeder stops pulling when this reaches `in_flight_cap`
-    /// (backpressure, so an unbalanced plan builds bounded queues instead
-    /// of unbounded ones).
-    in_flight: usize,
-    in_flight_cap: usize,
-    // metrics
-    latency: DurationHistogram,
-    util: Vec<UtilizationTracker>,
-    completed: u64,
-    within_slo: u64,
-    dropped: u64,
-    correct: u64,
-    exit_events: Vec<ExitEvent>,
-    dispatch_batch_sum: Vec<f64>,
-    dispatch_batch_n: Vec<u64>,
-    stragglers_detected: Vec<usize>,
-    last_completion: SimTime,
-    /// Running peak of queued batches per stage (observability; exposed
-    /// as RunReport::peak_queue_depth).
-    peak_queue_depth: Vec<usize>,
+    pub(crate) model: &'a EeModel,
+    pub(crate) policy: ExitPolicy,
+    pub(crate) ctrl: RampController,
+    pub(crate) infer: InferenceSim,
+    pub(crate) stages: Vec<StageSpec>,
+    pub(crate) lm: LatencyModel,
+    pub(crate) tm: TransferModel,
+    pub(crate) cfg: ServingConfig,
 }
 
 impl<'a> ServingSim<'a> {
@@ -193,8 +144,67 @@ impl<'a> ServingSim<'a> {
         }
     }
 
-    /// Runs the simulation over `requests` with the given seed.
+    /// The default policy set derived from this simulator's
+    /// [`ServingConfig`]: fusion batching everywhere; SLO-slack admission
+    /// in open-loop drop mode (closed-loop backlogs admit everything);
+    /// relative-slowdown straggler detection when enabled.
+    pub fn default_policies(&self) -> KernelPolicies<'static> {
+        let admission: Box<dyn crate::kernel::AdmissionPolicy> =
+            if self.cfg.drop_late && !self.cfg.closed_loop {
+                Box::new(SloSlackAdmission::for_stages(
+                    self.model,
+                    &self.ctrl,
+                    &self.lm,
+                    &self.tm,
+                    &self.stages,
+                    self.cfg.slo,
+                ))
+            } else {
+                Box::new(AdmitAll)
+            };
+        let targets: Vec<usize> = self.stages.iter().map(|s| s.target_batch).collect();
+        let batching = Box::new(FusionBatching::new(
+            &targets,
+            self.cfg.fusion_max_wait,
+            self.cfg.fusion_waits.clone(),
+        ));
+        let straggler: Box<dyn crate::kernel::StragglerPolicy> = if self.cfg.detect_stragglers {
+            Box::new(RelativeSlowdown::default())
+        } else {
+            Box::new(NoStragglerDetection)
+        };
+        KernelPolicies {
+            admission,
+            batching,
+            straggler,
+        }
+    }
+
+    /// Runs the simulation over `requests` with the given seed, using the
+    /// default policies and no observer.
     pub fn run(&self, requests: &[Request], seed: u64) -> RunReport {
+        self.run_observed(requests, seed, &mut NullObserver)
+    }
+
+    /// Runs with the default policies, streaming kernel events to
+    /// `observer`.
+    pub fn run_observed(
+        &self,
+        requests: &[Request],
+        seed: u64,
+        observer: &mut dyn RunObserver,
+    ) -> RunReport {
+        self.run_with(requests, seed, self.default_policies(), observer)
+    }
+
+    /// Runs with explicit policies and an observer — the full seam.
+    pub fn run_with(
+        &self,
+        requests: &[Request],
+        seed: u64,
+        policies: KernelPolicies<'_>,
+        observer: &mut dyn RunObserver,
+    ) -> RunReport {
         let mut rng = StdRng::seed_from_u64(seed);
         let backlog: Vec<SimSample> = requests
             .iter()
@@ -203,459 +213,20 @@ impl<'a> ServingSim<'a> {
             })
             .collect();
 
-        let mut replicas = Vec::new();
-        let mut stage_replicas = Vec::new();
-        for (si, st) in self.stages.iter().enumerate() {
-            let mut ids = Vec::new();
-            for &gpu in &st.replicas {
-                let id = replicas.len();
-                let slowdown = self
-                    .cfg
-                    .straggler_slowdowns
-                    .iter()
-                    .find(|(r, _)| *r == id)
-                    .map_or(1.0, |(_, f)| *f);
-                replicas.push(Replica {
-                    stage: si,
-                    gpu,
-                    queue: VecDeque::new(),
-                    busy: false,
-                    running: None,
-                    slowdown,
-                    excluded: false,
-                    batches_done: 0,
-                    per_sample_secs_sum: 0.0,
-                });
-                ids.push(id);
-            }
-            stage_replicas.push(ids);
-        }
-
-        // Worst-case remaining service per stage: full batch, no exits,
-        // on the stage's slowest replica kind, plus downstream transfers.
-        let mut est_remaining = vec![SimDuration::ZERO; self.stages.len()];
-        for si in (0..self.stages.len()).rev() {
-            let st = &self.stages[si];
-            let worst_gpu = st
-                .replicas
-                .iter()
-                .copied()
-                .max_by(|a, b| {
-                    a.base_latency_factor()
-                        .partial_cmp(&b.base_latency_factor())
-                        .expect("finite")
-                })
-                .expect("nonempty");
-            let works: Vec<f64> = st.layers.clone().map(|k| {
-                let l = self.model.layers()[k];
-                let ramp = self.model.ramp_after(k).filter(|ri| self.ctrl.pays_cost_at(*ri));
-                l.work_us
-                    + l.fixed_us
-                    + ramp.map_or(0.0, |ri| {
-                        let r = self.model.ramps()[ri];
-                        r.work_us + r.fixed_us
-                    })
-            }).collect();
-            let batches = vec![st.target_batch as f64; works.len()];
-            let t = self.lm.layers_time(&works, &batches, worst_gpu);
-            let tx = if si + 1 < self.stages.len() {
-                self.tm.batch_transfer_time(
-                    self.model.boundary_bytes(st.layers.end - 1),
-                    st.target_batch as f64,
-                )
-            } else {
-                SimDuration::ZERO
-            };
-            est_remaining[si] = t
-                + tx
-                + est_remaining
-                    .get(si + 1)
-                    .copied()
-                    .unwrap_or(SimDuration::ZERO);
-        }
-
-        let num_stages = self.stages.len();
-        let num_replicas = replicas.len();
-        let mut eng = Engine {
-            sim: self,
-            q: EventQueue::new(),
-            replicas,
-            stage_replicas,
-            buffers: self
-                .stages
-                .iter()
-                .map(|s| FusionBuffer::new(s.target_batch))
-                .collect(),
-            flush_pending: vec![false; num_stages],
-            est_remaining,
-            backlog,
-            backlog_cursor: 0,
-            in_flight: 0,
-            in_flight_cap: (5 * num_replicas * self.stages[0].target_batch).div_ceil(4),
-            latency: DurationHistogram::new(),
-            util: (0..num_replicas).map(|_| UtilizationTracker::new()).collect(),
-            completed: 0,
-            within_slo: 0,
-            dropped: 0,
-            correct: 0,
-            exit_events: Vec::new(),
-            dispatch_batch_sum: vec![0.0; num_stages],
-            dispatch_batch_n: vec![0; num_stages],
-            stragglers_detected: Vec::new(),
-            last_completion: SimTime::ZERO,
-            peak_queue_depth: vec![0; num_stages],
-        };
-        eng.run();
-
+        let acc = Kernel::new(self, backlog, policies, observer).run();
+        let last = acc.last_completion();
         let duration = match self.cfg.horizon {
-            Some(h) => {
-                let d = eng.last_completion.saturating_since(SimTime::ZERO);
-                d.max(h)
-            }
-            None => eng.last_completion.saturating_since(SimTime::ZERO),
+            Some(h) => last.saturating_since(SimTime::ZERO).max(h),
+            None => last.saturating_since(SimTime::ZERO),
         };
-        RunReport {
-            duration,
-            completed: eng.completed,
-            within_slo: eng.within_slo,
-            dropped: eng.dropped,
-            correct: eng.correct,
-            latency: eng.latency,
-            replica_util: eng.util,
-            mean_dispatch_batch: (0..num_stages)
-                .map(|s| {
-                    if eng.dispatch_batch_n[s] == 0 {
-                        0.0
-                    } else {
-                        eng.dispatch_batch_sum[s] / eng.dispatch_batch_n[s] as f64
-                    }
-                })
-                .collect(),
-            exit_events: eng.exit_events,
-            slo: self.cfg.slo,
-            stragglers_detected: eng.stragglers_detected,
-            peak_queue_depth: eng.peak_queue_depth,
-        }
-    }
-}
-
-impl Engine<'_> {
-    fn run(&mut self) {
-        if self.sim.cfg.closed_loop {
-            let ids = self.stage_replicas[0].clone();
-            for r in ids {
-                self.feed_closed_loop(r);
-            }
-        } else {
-            for i in 0..self.backlog.len() {
-                let at = self.backlog[i].arrival;
-                self.q.schedule(at, Ev::Arrival(i));
-            }
-        }
-        while let Some(ev) = self.q.pop() {
-            match ev.event {
-                Ev::Arrival(i) => self.on_arrival(i),
-                Ev::ExecDone { replica } => self.on_exec_done(replica),
-                Ev::BatchReady { stage, batch } => self.on_batch_ready(stage, batch),
-                Ev::Flush { stage } => self.on_flush(stage),
-            }
-        }
-    }
-
-    fn now(&self) -> SimTime {
-        self.q.now()
-    }
-
-    fn wait_for(&self, stage: usize) -> SimDuration {
-        self.sim
-            .cfg
-            .fusion_waits
-            .get(stage)
-            .copied()
-            .unwrap_or(self.sim.cfg.fusion_max_wait)
-    }
-
-    fn on_arrival(&mut self, i: usize) {
-        let s = self.backlog[i];
-        let now = self.now();
-        self.buffers[0].push(s, now);
-        self.pump(0);
-    }
-
-    fn on_batch_ready(&mut self, stage: usize, batch: Batch) {
-        let now = self.now();
-        for s in batch.samples {
-            self.buffers[stage].push(s, now);
-        }
-        self.pump(stage);
-    }
-
-    /// Forms full batches and routes them; arms a flush timer otherwise.
-    fn pump(&mut self, stage: usize) {
-        let now = self.now();
-        while let Some(b) = self.buffers[stage].take_full(now) {
-            self.route(stage, b);
-        }
-        if !self.buffers[stage].is_empty() && !self.flush_pending[stage] {
-            let oldest = self.buffers[stage].oldest_enqueue().expect("nonempty");
-            let at = (oldest + self.wait_for(stage)).max(now);
-            self.q.schedule(at, Ev::Flush { stage });
-            self.flush_pending[stage] = true;
-        }
-    }
-
-    fn on_flush(&mut self, stage: usize) {
-        self.flush_pending[stage] = false;
-        let now = self.now();
-        let due = self.buffers[stage]
-            .oldest_enqueue()
-            .map_or(false, |t| now >= t + self.wait_for(stage));
-        if due {
-            if let Some(b) = self.buffers[stage].take_partial(now) {
-                self.route(stage, b);
-            }
-        }
-        if !self.buffers[stage].is_empty() && !self.flush_pending[stage] {
-            let oldest = self.buffers[stage].oldest_enqueue().expect("nonempty");
-            let at = (oldest + self.wait_for(stage)).max(now);
-            self.q.schedule(at, Ev::Flush { stage });
-            self.flush_pending[stage] = true;
-        }
-    }
-
-    /// Routes a batch to the least-loaded, non-excluded replica.
-    fn route(&mut self, stage: usize, batch: Batch) {
-        self.dispatch_batch_sum[stage] += batch.len() as f64;
-        self.dispatch_batch_n[stage] += 1;
-        let rid = self.stage_replicas[stage]
-            .iter()
-            .copied()
-            .filter(|&r| !self.replicas[r].excluded)
-            .min_by_key(|&r| {
-                (
-                    self.replicas[r].queue.len() + usize::from(self.replicas[r].busy),
-                    r,
-                )
-            })
-            .unwrap_or(self.stage_replicas[stage][0]); // all excluded: fall back
-        self.replicas[rid].queue.push_back(batch);
-        let depth: usize = self.stage_replicas[stage]
-            .iter()
-            .map(|&r| self.replicas[r].queue.len())
-            .sum();
-        if depth > self.peak_queue_depth[stage] {
-            self.peak_queue_depth[stage] = depth;
-        }
-        self.try_begin(rid);
-    }
-
-    /// Starts the replica on its next queued batch, if idle.
-    fn try_begin(&mut self, rid: usize) {
-        if self.replicas[rid].busy {
-            return;
-        }
-        let now = self.now();
-        let stage = self.replicas[rid].stage;
-        let deadline_budget = self.sim.cfg.slo;
-        loop {
-            let Some(mut batch) = self.replicas[rid].queue.pop_front() else {
-                // Idle: closed-loop stage-0 replicas self-feed.
-                if stage == 0 && self.sim.cfg.closed_loop {
-                    self.feed_closed_loop(rid);
-                }
-                return;
-            };
-            if self.sim.cfg.drop_late && !self.sim.cfg.closed_loop {
-                let est = self.est_remaining[stage];
-                let before = batch.samples.len();
-                batch
-                    .samples
-                    .retain(|s| now + est <= s.arrival + deadline_budget);
-                self.dropped += (before - batch.samples.len()) as u64;
-            }
-            if batch.samples.is_empty() {
-                continue;
-            }
-            self.start_exec(rid, batch);
-            return;
-        }
-    }
-
-    /// Pulls the next closed-loop batch from the backlog onto `rid`.
-    fn feed_closed_loop(&mut self, rid: usize) {
-        let stage = self.replicas[rid].stage;
-        debug_assert_eq!(stage, 0);
-        if self.replicas[rid].excluded {
-            return; // stragglers get no new work (§3.3)
-        }
-        let target = self.sim.stages[0].target_batch;
-        if self.backlog_cursor >= self.backlog.len() {
-            return;
-        }
-        if self.in_flight + target > self.in_flight_cap {
-            return; // backpressure: resume when completions drain
-        }
-        let now = self.now();
-        let end = (self.backlog_cursor + target).min(self.backlog.len());
-        let mut samples = Vec::with_capacity(end - self.backlog_cursor);
-        for i in self.backlog_cursor..end {
-            let mut s = self.backlog[i];
-            s.arrival = now; // closed loop: latency measured from dispatch
-            samples.push(s);
-        }
-        self.backlog_cursor = end;
-        self.in_flight += samples.len();
-        self.dispatch_batch_sum[0] += samples.len() as f64;
-        self.dispatch_batch_n[0] += 1;
-        let batch = Batch {
-            samples,
-            formed_at: now,
-        };
-        self.replicas[rid].queue.push_back(batch);
-        self.start_next(rid);
-    }
-
-    fn start_next(&mut self, rid: usize) {
-        if self.replicas[rid].busy {
-            return;
-        }
-        if let Some(batch) = self.replicas[rid].queue.pop_front() {
-            self.start_exec(rid, batch);
-        }
-    }
-
-    fn start_exec(&mut self, rid: usize, batch: Batch) {
-        let stage = self.replicas[rid].stage;
-        let spec = &self.sim.stages[stage];
-        let out = execute_batch(
-            self.sim.model,
-            &self.sim.ctrl,
-            &self.sim.lm,
-            &self.sim.lm.exit,
-            self.replicas[rid].gpu,
-            spec.layers.clone(),
-            &batch.samples,
-            spec.deferred_exits,
-            self.replicas[rid].slowdown,
-        );
-        self.util[rid].record_busy(out.duration, out.mean_occupancy);
-        let n = batch.samples.len().max(1) as f64;
-        self.replicas[rid].per_sample_secs_sum += out.duration.as_secs_f64() / n;
-        self.replicas[rid].busy = true;
-        self.replicas[rid].running = Some(batch);
-        self.q.schedule_after(out.duration, Ev::ExecDone { replica: rid });
-    }
-
-    fn on_exec_done(&mut self, rid: usize) {
-        let now = self.now();
-        let stage = self.replicas[rid].stage;
-        let stage_end = self.sim.stages[stage].layers.end;
-        let batch = self.replicas[rid]
-            .running
-            .take()
-            .expect("exec done without a running batch");
-        self.replicas[rid].busy = false;
-        self.replicas[rid].batches_done += 1;
-
-        let mut survivors = Vec::new();
-        for s in batch.samples {
-            if s.finishes_before(stage_end) {
-                self.complete(s, now);
-            } else {
-                survivors.push(s);
-            }
-        }
-        if !survivors.is_empty() {
-            let next = stage + 1;
-            assert!(next < self.sim.stages.len(), "survivors past the last stage");
-            let bytes = self.sim.model.boundary_bytes(stage_end - 1);
-            let tx = self
-                .sim
-                .tm
-                .batch_transfer_time(bytes, survivors.len() as f64);
-            let b = Batch {
-                samples: survivors,
-                formed_at: now,
-            };
-            self.q.schedule_after(tx, Ev::BatchReady { stage: next, batch: b });
-        }
-
-        if self.sim.cfg.detect_stragglers {
-            self.detect_straggler(rid);
-        }
-        self.try_begin(rid);
-        // Completions may have released backpressure: wake idle stage-0
-        // feeders.
-        if self.sim.cfg.closed_loop {
-            let feeders = self.stage_replicas[0].clone();
-            for r in feeders {
-                if !self.replicas[r].busy && self.replicas[r].queue.is_empty() {
-                    self.feed_closed_loop(r);
-                }
-            }
-        }
-    }
-
-    fn complete(&mut self, s: SimSample, now: SimTime) {
-        self.in_flight = self.in_flight.saturating_sub(1);
-        let lat = now.saturating_since(s.arrival);
-        self.latency.record(lat);
-        self.completed += 1;
-        if lat <= self.sim.cfg.slo {
-            self.within_slo += 1;
-        }
-        if s.correct {
-            self.correct += 1;
-        }
-        if self.sim.cfg.record_exit_events {
-            self.exit_events.push(ExitEvent {
-                at: now,
-                layers_executed: s.layers_executed,
-                exited_early: s.exited_at_ramp.is_some(),
-            });
-        }
-        self.last_completion = now;
-    }
-
-    /// Flags a replica whose mean per-sample time exceeds 1.8x the best
-    /// peer in its stage (after a warm-up of 3 batches) and re-routes its
-    /// queued work (§3.3 straggler handling).
-    fn detect_straggler(&mut self, rid: usize) {
-        let stage = self.replicas[rid].stage;
-        if self.stage_replicas[stage].len() < 2 || self.replicas[rid].excluded {
-            return;
-        }
-        let mean = |r: &Replica| -> Option<f64> {
-            if r.batches_done >= 3 {
-                Some(r.per_sample_secs_sum / r.batches_done as f64)
-            } else {
-                None
-            }
-        };
-        let Some(mine) = mean(&self.replicas[rid]) else {
-            return;
-        };
-        let best_peer = self.stage_replicas[stage]
-            .iter()
-            .filter(|&&r| r != rid && !self.replicas[r].excluded)
-            .filter_map(|&r| mean(&self.replicas[r]))
-            .fold(f64::INFINITY, f64::min);
-        if best_peer.is_finite() && mine > 1.8 * best_peer {
-            self.replicas[rid].excluded = true;
-            self.stragglers_detected.push(rid);
-            // Reassign its queued batches.
-            let queued: Vec<Batch> = self.replicas[rid].queue.drain(..).collect();
-            for b in queued {
-                self.route(stage, b);
-            }
-        }
+        acc.finish(duration)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use e3_hardware::ClusterSpec;
+    use e3_hardware::{ClusterSpec, GpuKind};
     use e3_model::{zoo, RampStyle};
     use e3_optimizer::{optimize_homogeneous, OptimizerConfig};
     use e3_simcore::SeedSplitter;
@@ -886,6 +457,99 @@ mod tests {
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.within_slo, b.within_slo);
         assert_eq!(a.latency.samples_ms(), b.latency.samples_ms());
+    }
+
+    #[test]
+    fn observer_sees_full_sample_lifecycle() {
+        use crate::kernel::{EventLog, KernelEvent};
+
+        // A 2+-split plan so the stream includes fusion and transfers.
+        let dee = zoo::deebert();
+        let cluster = ClusterSpec::paper_homogeneous_v100();
+        let ctrl = RampController::all_enabled(dee.num_ramps(), RampStyle::Independent);
+        let policy = zoo::default_policy("DeeBERT");
+        let infer = InferenceSim::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let hs = DatasetModel::sst2().sample_hardnesses(4000, &mut rng);
+        let profile = infer.exit_profile(&dee, &policy, &ctrl, &hs, &mut rng);
+        let plan = optimize_homogeneous(
+            &dee,
+            &ctrl,
+            &profile,
+            GpuKind::V100,
+            16,
+            8.0,
+            &TransferModel::default(),
+            &LatencyModel::new(),
+            &OptimizerConfig::default(),
+        );
+        assert!(plan.num_splits() >= 2, "{plan}");
+        let strategy = Strategy::Plan(plan);
+        let stages = strategy.realize(&dee, &cluster);
+        let sim = ServingSim::new(
+            &dee,
+            policy,
+            ctrl,
+            infer,
+            stages,
+            LatencyModel::new(),
+            TransferModel::default(),
+            ServingConfig::default(),
+        );
+        let reqs = requests_closed(4000, &DatasetModel::sst2(), 7);
+        let mut log = EventLog::new();
+        let r = sim.run_observed(&reqs, 7, &mut log);
+        assert_eq!(r.completed, 4000);
+
+        // The stream is emitted in execution order: time never rewinds.
+        assert!(log.events.windows(2).all(|w| w[0].0 <= w[1].0));
+        // One arrival per request, one completion per completed sample.
+        assert_eq!(
+            log.count(|e| matches!(e, KernelEvent::Arrival { .. })) as u64,
+            r.completed + r.dropped
+        );
+        assert_eq!(
+            log.count(|e| matches!(e, KernelEvent::Completion { .. })) as u64,
+            r.completed
+        );
+        // Survivors crossed at least one split boundary.
+        assert!(log.count(|e| matches!(e, KernelEvent::StageTransfer { .. })) > 0);
+
+        // Per-sample lifecycle: arrival -> batch formed -> exec start ->
+        // exec done -> completion, in that order.
+        let id = log
+            .events
+            .iter()
+            .find_map(|(_, e)| match e {
+                KernelEvent::Completion { sample, .. } => Some(*sample),
+                _ => None,
+            })
+            .expect("some completion");
+        let pos = |from: usize, pred: &dyn Fn(&KernelEvent) -> bool| {
+            log.events[from..]
+                .iter()
+                .position(|(_, e)| pred(e))
+                .map(|i| from + i)
+        };
+        let arrival = pos(0, &|e| {
+            matches!(e, KernelEvent::Arrival { sample } if *sample == id)
+        })
+        .expect("arrival");
+        let completion = pos(arrival, &|e| {
+            matches!(e, KernelEvent::Completion { sample, .. } if *sample == id)
+        })
+        .expect("completion");
+        let batch = pos(arrival, &|e| matches!(e, KernelEvent::BatchFormed { .. }))
+            .expect("batch formed");
+        let exec_start =
+            pos(batch, &|e| matches!(e, KernelEvent::ExecStart { .. })).expect("exec start");
+        let exec_done =
+            pos(exec_start, &|e| matches!(e, KernelEvent::ExecDone { .. })).expect("exec done");
+        assert!(
+            arrival < batch && batch < exec_start && exec_start < exec_done
+                && exec_done < completion,
+            "lifecycle out of order: {arrival} {batch} {exec_start} {exec_done} {completion}"
+        );
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Shared run accounting.
+//!
+//! Every driver that produces a [`RunReport`] — the event-driven kernel,
+//! the serial barrier mode — funnels its measurements through one
+//! [`RunAccumulator`], so latency, utilization, drop, and dispatch
+//! accounting are defined in exactly one place.
+
+use e3_simcore::metrics::{DurationHistogram, UtilizationTracker};
+use e3_simcore::{SimDuration, SimTime};
+
+use crate::report::{ExitEvent, RunReport};
+use crate::sample::SimSample;
+
+/// Accumulates the metrics of one serving run; [`RunAccumulator::finish`]
+/// converts them into the public [`RunReport`].
+#[derive(Debug, Clone)]
+pub struct RunAccumulator {
+    slo: SimDuration,
+    record_exit_events: bool,
+    latency: DurationHistogram,
+    util: Vec<UtilizationTracker>,
+    completed: u64,
+    within_slo: u64,
+    dropped: u64,
+    correct: u64,
+    exit_events: Vec<ExitEvent>,
+    dispatch_batch_sum: Vec<f64>,
+    dispatch_batch_n: Vec<u64>,
+    stragglers_detected: Vec<usize>,
+    last_completion: SimTime,
+    peak_queue_depth: Vec<usize>,
+}
+
+impl RunAccumulator {
+    /// An empty accumulator for `num_stages` stages and `num_replicas`
+    /// execution units.
+    pub fn new(
+        num_stages: usize,
+        num_replicas: usize,
+        slo: SimDuration,
+        record_exit_events: bool,
+    ) -> Self {
+        RunAccumulator {
+            slo,
+            record_exit_events,
+            latency: DurationHistogram::new(),
+            util: (0..num_replicas).map(|_| UtilizationTracker::new()).collect(),
+            completed: 0,
+            within_slo: 0,
+            dropped: 0,
+            correct: 0,
+            exit_events: Vec::new(),
+            dispatch_batch_sum: vec![0.0; num_stages],
+            dispatch_batch_n: vec![0; num_stages],
+            stragglers_detected: Vec::new(),
+            last_completion: SimTime::ZERO,
+            peak_queue_depth: vec![0; num_stages],
+        }
+    }
+
+    /// Records a batch of `n` samples dispatched to `stage`.
+    pub fn record_dispatch(&mut self, stage: usize, n: f64) {
+        self.dispatch_batch_sum[stage] += n;
+        self.dispatch_batch_n[stage] += 1;
+    }
+
+    /// Records busy time on execution unit `rid`.
+    pub fn record_busy(&mut self, rid: usize, duration: SimDuration, occupancy: f64) {
+        self.util[rid].record_busy(duration, occupancy);
+    }
+
+    /// Records one admission drop.
+    pub fn record_drop(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Updates the running queue-depth peak for `stage`.
+    pub fn observe_queue_depth(&mut self, stage: usize, depth: usize) {
+        if depth > self.peak_queue_depth[stage] {
+            self.peak_queue_depth[stage] = depth;
+        }
+    }
+
+    /// Records a replica flagged as a straggler.
+    pub fn record_straggler(&mut self, rid: usize) {
+        self.stragglers_detected.push(rid);
+    }
+
+    /// Records a completion at `now`; returns whether it met the SLO.
+    pub fn complete(&mut self, s: &SimSample, now: SimTime) -> bool {
+        let lat = now.saturating_since(s.arrival);
+        self.latency.record(lat);
+        self.completed += 1;
+        let in_slo = lat <= self.slo;
+        if in_slo {
+            self.within_slo += 1;
+        }
+        if s.correct {
+            self.correct += 1;
+        }
+        if self.record_exit_events {
+            self.exit_events.push(ExitEvent {
+                at: now,
+                layers_executed: s.layers_executed,
+                exited_early: s.exited_at_ramp.is_some(),
+            });
+        }
+        self.last_completion = now;
+        in_slo
+    }
+
+    /// Time of the most recent completion.
+    pub fn last_completion(&self) -> SimTime {
+        self.last_completion
+    }
+
+    /// Converts the accumulated measurements into a [`RunReport`] covering
+    /// `duration` of simulated time.
+    pub fn finish(self, duration: SimDuration) -> RunReport {
+        let num_stages = self.dispatch_batch_sum.len();
+        RunReport {
+            duration,
+            completed: self.completed,
+            within_slo: self.within_slo,
+            dropped: self.dropped,
+            correct: self.correct,
+            latency: self.latency,
+            replica_util: self.util,
+            mean_dispatch_batch: (0..num_stages)
+                .map(|s| {
+                    if self.dispatch_batch_n[s] == 0 {
+                        0.0
+                    } else {
+                        self.dispatch_batch_sum[s] / self.dispatch_batch_n[s] as f64
+                    }
+                })
+                .collect(),
+            exit_events: self.exit_events,
+            slo: self.slo,
+            stragglers_detected: self.stragglers_detected,
+            peak_queue_depth: self.peak_queue_depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_finishes() {
+        let mut acc = RunAccumulator::new(2, 3, SimDuration::from_millis(20), true);
+        acc.record_dispatch(0, 8.0);
+        acc.record_dispatch(0, 4.0);
+        acc.record_dispatch(1, 6.0);
+        acc.record_busy(1, SimDuration::from_millis(5), 0.5);
+        acc.record_drop();
+        acc.observe_queue_depth(1, 3);
+        acc.observe_queue_depth(1, 2);
+        let s = SimSample {
+            id: 1,
+            arrival: SimTime::ZERO,
+            layers_executed: 4,
+            exited_at_ramp: Some(1),
+            correct: true,
+            output_tokens: 1,
+        };
+        assert!(acc.complete(&s, SimTime::from_millis(10)));
+        assert!(!acc.complete(&s, SimTime::from_millis(30)));
+        let r = acc.finish(SimDuration::from_secs(1));
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.within_slo, 1);
+        assert_eq!(r.dropped, 1);
+        assert_eq!(r.correct, 2);
+        assert_eq!(r.mean_dispatch_batch, vec![6.0, 6.0]);
+        assert_eq!(r.peak_queue_depth, vec![0, 3]);
+        assert_eq!(r.exit_events.len(), 2);
+        assert_eq!(r.latency.samples_ms().len(), 2);
+    }
+
+    #[test]
+    fn exit_events_can_be_disabled() {
+        let mut acc = RunAccumulator::new(1, 1, SimDuration::from_millis(20), false);
+        let s = SimSample {
+            id: 1,
+            arrival: SimTime::ZERO,
+            layers_executed: 4,
+            exited_at_ramp: None,
+            correct: false,
+            output_tokens: 1,
+        };
+        acc.complete(&s, SimTime::from_millis(1));
+        let r = acc.finish(SimDuration::from_secs(1));
+        assert!(r.exit_events.is_empty());
+        assert_eq!(r.correct, 0);
+    }
+}

@@ -1,0 +1,512 @@
+//! The serving kernel: one event-driven loop, policy-free.
+//!
+//! Everything the runtime serves — the Vanilla/NaiveEe/Plan strategies of
+//! [`crate::engine::ServingSim`], open and closed loop — runs through the
+//! single [`Kernel`] event loop here, driven by
+//! [`e3_simcore::EventQueue`]. The loop owns only *mechanism*: queues,
+//! replicas, timers, transfers, backpressure. Every *decision* is
+//! delegated through a policy seam:
+//!
+//! * [`AdmissionPolicy`] — admit or drop a sample at dispatch time
+//!   ([`AdmitAll`], [`SloSlackAdmission`]);
+//! * [`BatchingPolicy`] — how batches form from waiting samples
+//!   ([`FusionBatching`], [`StaticBatching`]);
+//! * [`StragglerPolicy`] — which replicas get excluded
+//!   ([`NoStragglerDetection`], [`RelativeSlowdown`]).
+//!
+//! A [`RunObserver`] receives the typed [`KernelEvent`] stream (arrival,
+//! admit, drop, batch-formed, fusion, exec start/done, stage transfer,
+//! completion) after each transition; observation cannot perturb
+//! scheduling. Metrics funnel through the shared [`RunAccumulator`],
+//! which the serial barrier driver ([`crate::serial`]) reuses so both
+//! execution modes account identically.
+
+mod accounting;
+mod observer;
+mod policy;
+
+pub use accounting::RunAccumulator;
+pub use observer::{EventLog, KernelEvent, NullObserver, RunObserver};
+pub use policy::{
+    AdmissionPolicy, AdmitAll, BatchingPolicy, FusionBatching, NoStragglerDetection, ReplicaPerf,
+    RelativeSlowdown, SloSlackAdmission, StaticBatching, StragglerPolicy,
+};
+
+use std::collections::VecDeque;
+
+use e3_hardware::GpuKind;
+use e3_simcore::{EventQueue, SimTime};
+
+use crate::batch::Batch;
+use crate::engine::ServingSim;
+use crate::executor::execute_batch;
+use crate::sample::SimSample;
+
+/// The three policy seams of one kernel run, boxed for injection.
+pub struct KernelPolicies<'p> {
+    /// Admit-or-drop decisions at dispatch time.
+    pub admission: Box<dyn AdmissionPolicy + 'p>,
+    /// Batch formation at the frontend and at fusion points.
+    pub batching: Box<dyn BatchingPolicy + 'p>,
+    /// Straggler exclusion.
+    pub straggler: Box<dyn StragglerPolicy + 'p>,
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Arrival(usize),
+    ExecDone { replica: usize },
+    BatchReady { stage: usize, batch: Batch },
+    Flush { stage: usize },
+}
+
+struct Replica {
+    stage: usize,
+    gpu: GpuKind,
+    queue: VecDeque<Batch>,
+    busy: bool,
+    running: Option<Batch>,
+    slowdown: f64,
+    excluded: bool,
+    batches_done: u32,
+    per_sample_secs_sum: f64,
+}
+
+/// One run of the serving event loop. Built by
+/// [`crate::engine::ServingSim`] with the materialized backlog and the
+/// chosen policies; [`Kernel::run`] drains the event queue and returns
+/// the filled [`RunAccumulator`].
+pub(crate) struct Kernel<'a, 'p> {
+    sim: &'a ServingSim<'a>,
+    policies: KernelPolicies<'p>,
+    observer: &'p mut dyn RunObserver,
+    q: EventQueue<Ev>,
+    replicas: Vec<Replica>,
+    stage_replicas: Vec<Vec<usize>>,
+    flush_pending: Vec<bool>,
+    backlog: Vec<SimSample>,
+    backlog_cursor: usize,
+    /// Samples admitted at stage 0 and not yet completed; the closed-loop
+    /// feeder stops pulling when this reaches `in_flight_cap`
+    /// (backpressure, so an unbalanced plan builds bounded queues instead
+    /// of unbounded ones).
+    in_flight: usize,
+    in_flight_cap: usize,
+    acc: RunAccumulator,
+}
+
+impl<'a, 'p> Kernel<'a, 'p> {
+    pub(crate) fn new(
+        sim: &'a ServingSim<'a>,
+        backlog: Vec<SimSample>,
+        policies: KernelPolicies<'p>,
+        observer: &'p mut dyn RunObserver,
+    ) -> Self {
+        let mut replicas = Vec::new();
+        let mut stage_replicas = Vec::new();
+        for (si, st) in sim.stages.iter().enumerate() {
+            let mut ids = Vec::new();
+            for &gpu in &st.replicas {
+                let id = replicas.len();
+                let slowdown = sim
+                    .cfg
+                    .straggler_slowdowns
+                    .iter()
+                    .find(|(r, _)| *r == id)
+                    .map_or(1.0, |(_, f)| *f);
+                replicas.push(Replica {
+                    stage: si,
+                    gpu,
+                    queue: VecDeque::new(),
+                    busy: false,
+                    running: None,
+                    slowdown,
+                    excluded: false,
+                    batches_done: 0,
+                    per_sample_secs_sum: 0.0,
+                });
+                ids.push(id);
+            }
+            stage_replicas.push(ids);
+        }
+        let num_stages = sim.stages.len();
+        let num_replicas = replicas.len();
+        Kernel {
+            sim,
+            policies,
+            observer,
+            q: EventQueue::new(),
+            replicas,
+            stage_replicas,
+            flush_pending: vec![false; num_stages],
+            backlog,
+            backlog_cursor: 0,
+            in_flight: 0,
+            in_flight_cap: (5 * num_replicas * sim.stages[0].target_batch).div_ceil(4),
+            acc: RunAccumulator::new(
+                num_stages,
+                num_replicas,
+                sim.cfg.slo,
+                sim.cfg.record_exit_events,
+            ),
+        }
+    }
+
+    /// Drains the event queue; returns the filled accumulator.
+    pub(crate) fn run(mut self) -> RunAccumulator {
+        if self.sim.cfg.closed_loop {
+            let ids = self.stage_replicas[0].clone();
+            for r in ids {
+                self.feed_closed_loop(r);
+            }
+        } else {
+            for i in 0..self.backlog.len() {
+                let at = self.backlog[i].arrival;
+                self.q.schedule(at, Ev::Arrival(i));
+            }
+        }
+        while let Some(ev) = self.q.pop() {
+            match ev.event {
+                Ev::Arrival(i) => self.on_arrival(i),
+                Ev::ExecDone { replica } => self.on_exec_done(replica),
+                Ev::BatchReady { stage, batch } => self.on_batch_ready(stage, batch),
+                Ev::Flush { stage } => self.on_flush(stage),
+            }
+        }
+        self.acc
+    }
+
+    fn now(&self) -> SimTime {
+        self.q.now()
+    }
+
+    fn on_arrival(&mut self, i: usize) {
+        let s = self.backlog[i];
+        let now = self.now();
+        self.observer
+            .on_event(now, &KernelEvent::Arrival { sample: s.id });
+        self.policies.batching.push(0, s, now);
+        self.pump(0);
+    }
+
+    fn on_batch_ready(&mut self, stage: usize, batch: Batch) {
+        let now = self.now();
+        self.observer.on_event(
+            now,
+            &KernelEvent::Fusion {
+                stage,
+                size: batch.len(),
+            },
+        );
+        for s in batch.samples {
+            self.policies.batching.push(stage, s, now);
+        }
+        self.pump(stage);
+    }
+
+    /// Forms full batches and routes them; arms a flush timer otherwise.
+    fn pump(&mut self, stage: usize) {
+        let now = self.now();
+        while let Some(b) = self.policies.batching.take_full(stage, now) {
+            self.observer.on_event(
+                now,
+                &KernelEvent::BatchFormed {
+                    stage,
+                    size: b.len(),
+                    partial: false,
+                },
+            );
+            self.route(stage, b);
+        }
+        self.arm_flush(stage);
+    }
+
+    fn arm_flush(&mut self, stage: usize) {
+        let now = self.now();
+        if !self.policies.batching.is_empty(stage) && !self.flush_pending[stage] {
+            if let Some(at) = self.policies.batching.next_flush_at(stage, now) {
+                self.q.schedule(at, Ev::Flush { stage });
+                self.flush_pending[stage] = true;
+            }
+        }
+    }
+
+    fn on_flush(&mut self, stage: usize) {
+        self.flush_pending[stage] = false;
+        let now = self.now();
+        if let Some(b) = self.policies.batching.take_due(stage, now) {
+            self.observer.on_event(
+                now,
+                &KernelEvent::BatchFormed {
+                    stage,
+                    size: b.len(),
+                    partial: true,
+                },
+            );
+            self.route(stage, b);
+        }
+        self.arm_flush(stage);
+    }
+
+    /// Routes a batch to the least-loaded, non-excluded replica.
+    fn route(&mut self, stage: usize, batch: Batch) {
+        self.acc.record_dispatch(stage, batch.len() as f64);
+        let rid = self.stage_replicas[stage]
+            .iter()
+            .copied()
+            .filter(|&r| !self.replicas[r].excluded)
+            .min_by_key(|&r| {
+                (
+                    self.replicas[r].queue.len() + usize::from(self.replicas[r].busy),
+                    r,
+                )
+            })
+            .unwrap_or(self.stage_replicas[stage][0]); // all excluded: fall back
+        self.replicas[rid].queue.push_back(batch);
+        let depth: usize = self.stage_replicas[stage]
+            .iter()
+            .map(|&r| self.replicas[r].queue.len())
+            .sum();
+        self.acc.observe_queue_depth(stage, depth);
+        self.try_begin(rid);
+    }
+
+    /// Starts the replica on its next queued batch, if idle.
+    fn try_begin(&mut self, rid: usize) {
+        if self.replicas[rid].busy {
+            return;
+        }
+        let now = self.now();
+        let stage = self.replicas[rid].stage;
+        loop {
+            let Some(mut batch) = self.replicas[rid].queue.pop_front() else {
+                // Idle: closed-loop stage-0 replicas self-feed.
+                if stage == 0 && self.sim.cfg.closed_loop {
+                    self.feed_closed_loop(rid);
+                }
+                return;
+            };
+            if !self.policies.admission.is_permissive() {
+                let mut kept = Vec::with_capacity(batch.samples.len());
+                for s in batch.samples.drain(..) {
+                    if self.policies.admission.admit(now, stage, &s) {
+                        kept.push(s);
+                    } else {
+                        self.acc.record_drop();
+                        self.observer.on_event(
+                            now,
+                            &KernelEvent::Dropped {
+                                sample: s.id,
+                                stage,
+                            },
+                        );
+                    }
+                }
+                batch.samples = kept;
+            }
+            if batch.samples.is_empty() {
+                continue;
+            }
+            self.observer.on_event(
+                now,
+                &KernelEvent::Admitted {
+                    stage,
+                    size: batch.len(),
+                },
+            );
+            self.start_exec(rid, batch);
+            return;
+        }
+    }
+
+    /// Pulls the next closed-loop batch from the backlog onto `rid`.
+    fn feed_closed_loop(&mut self, rid: usize) {
+        let stage = self.replicas[rid].stage;
+        debug_assert_eq!(stage, 0);
+        if self.replicas[rid].excluded {
+            return; // stragglers get no new work (§3.3)
+        }
+        let target = self.sim.stages[0].target_batch;
+        if self.backlog_cursor >= self.backlog.len() {
+            return;
+        }
+        if self.in_flight + target > self.in_flight_cap {
+            return; // backpressure: resume when completions drain
+        }
+        let now = self.now();
+        let end = (self.backlog_cursor + target).min(self.backlog.len());
+        let mut samples = Vec::with_capacity(end - self.backlog_cursor);
+        for i in self.backlog_cursor..end {
+            let mut s = self.backlog[i];
+            s.arrival = now; // closed loop: latency measured from dispatch
+            self.observer
+                .on_event(now, &KernelEvent::Arrival { sample: s.id });
+            samples.push(s);
+        }
+        self.backlog_cursor = end;
+        self.in_flight += samples.len();
+        self.acc.record_dispatch(0, samples.len() as f64);
+        self.observer.on_event(
+            now,
+            &KernelEvent::BatchFormed {
+                stage: 0,
+                size: samples.len(),
+                partial: false,
+            },
+        );
+        let batch = Batch {
+            samples,
+            formed_at: now,
+        };
+        self.replicas[rid].queue.push_back(batch);
+        self.start_next(rid);
+    }
+
+    fn start_next(&mut self, rid: usize) {
+        if self.replicas[rid].busy {
+            return;
+        }
+        if let Some(batch) = self.replicas[rid].queue.pop_front() {
+            self.start_exec(rid, batch);
+        }
+    }
+
+    fn start_exec(&mut self, rid: usize, batch: Batch) {
+        let stage = self.replicas[rid].stage;
+        let spec = &self.sim.stages[stage];
+        let out = execute_batch(
+            self.sim.model,
+            &self.sim.ctrl,
+            &self.sim.lm,
+            &self.sim.lm.exit,
+            self.replicas[rid].gpu,
+            spec.layers.clone(),
+            &batch.samples,
+            spec.deferred_exits,
+            self.replicas[rid].slowdown,
+        );
+        self.acc.record_busy(rid, out.duration, out.mean_occupancy);
+        let n = batch.samples.len().max(1) as f64;
+        self.replicas[rid].per_sample_secs_sum += out.duration.as_secs_f64() / n;
+        self.replicas[rid].busy = true;
+        self.observer.on_event(
+            self.now(),
+            &KernelEvent::ExecStart {
+                replica: rid,
+                stage,
+                size: batch.len(),
+            },
+        );
+        self.replicas[rid].running = Some(batch);
+        self.q.schedule_after(out.duration, Ev::ExecDone { replica: rid });
+    }
+
+    fn on_exec_done(&mut self, rid: usize) {
+        let now = self.now();
+        let stage = self.replicas[rid].stage;
+        let stage_end = self.sim.stages[stage].layers.end;
+        let batch = self.replicas[rid]
+            .running
+            .take()
+            .expect("exec done without a running batch");
+        self.replicas[rid].busy = false;
+        self.replicas[rid].batches_done += 1;
+        self.observer.on_event(
+            now,
+            &KernelEvent::ExecDone {
+                replica: rid,
+                stage,
+                size: batch.len(),
+            },
+        );
+
+        let mut survivors = Vec::new();
+        for s in batch.samples {
+            if s.finishes_before(stage_end) {
+                self.complete(s, now);
+            } else {
+                survivors.push(s);
+            }
+        }
+        if !survivors.is_empty() {
+            let next = stage + 1;
+            assert!(next < self.sim.stages.len(), "survivors past the last stage");
+            let bytes = self.sim.model.boundary_bytes(stage_end - 1);
+            let tx = self
+                .sim
+                .tm
+                .batch_transfer_time(bytes, survivors.len() as f64);
+            self.observer.on_event(
+                now,
+                &KernelEvent::StageTransfer {
+                    from_stage: stage,
+                    to_stage: next,
+                    size: survivors.len(),
+                },
+            );
+            let b = Batch {
+                samples: survivors,
+                formed_at: now,
+            };
+            self.q.schedule_after(tx, Ev::BatchReady { stage: next, batch: b });
+        }
+
+        if self.policies.straggler.enabled() {
+            self.maybe_exclude_straggler(rid);
+        }
+        self.try_begin(rid);
+        // Completions may have released backpressure: wake idle stage-0
+        // feeders.
+        if self.sim.cfg.closed_loop {
+            let feeders = self.stage_replicas[0].clone();
+            for r in feeders {
+                if !self.replicas[r].busy && self.replicas[r].queue.is_empty() {
+                    self.feed_closed_loop(r);
+                }
+            }
+        }
+    }
+
+    fn complete(&mut self, s: SimSample, now: SimTime) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        let in_slo = self.acc.complete(&s, now);
+        self.observer.on_event(
+            now,
+            &KernelEvent::Completion {
+                sample: s.id,
+                within_slo: in_slo,
+            },
+        );
+    }
+
+    /// Judges the replica that just finished a batch against its stage
+    /// peers; on a straggler verdict, excludes it and re-routes its queued
+    /// work (§3.3 straggler handling).
+    fn maybe_exclude_straggler(&mut self, rid: usize) {
+        let stage = self.replicas[rid].stage;
+        if self.stage_replicas[stage].len() < 2 || self.replicas[rid].excluded {
+            return;
+        }
+        let perf = |r: &Replica| ReplicaPerf {
+            batches_done: r.batches_done,
+            per_sample_secs_sum: r.per_sample_secs_sum,
+        };
+        let candidate = perf(&self.replicas[rid]);
+        let peers: Vec<ReplicaPerf> = self.stage_replicas[stage]
+            .iter()
+            .filter(|&&r| r != rid && !self.replicas[r].excluded)
+            .map(|&r| perf(&self.replicas[r]))
+            .collect();
+        if self.policies.straggler.should_exclude(candidate, &peers) {
+            self.replicas[rid].excluded = true;
+            self.acc.record_straggler(rid);
+            self.observer
+                .on_event(self.now(), &KernelEvent::StragglerExcluded { replica: rid });
+            // Reassign its queued batches.
+            let queued: Vec<Batch> = self.replicas[rid].queue.drain(..).collect();
+            for b in queued {
+                self.route(stage, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Typed kernel events and the observer hook.
+//!
+//! The kernel narrates a run as a stream of [`KernelEvent`]s — one per
+//! state transition a request or batch goes through. Observers receive
+//! the stream synchronously but must not (and cannot) influence
+//! scheduling: the kernel passes events by reference after the fact, so
+//! an observer changes what is *recorded*, never what *happens*.
+
+use e3_simcore::SimTime;
+
+/// One state transition inside the serving kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelEvent {
+    /// A request entered the system (open-loop arrival, or closed-loop
+    /// pull from the backlog).
+    Arrival {
+        /// Request id.
+        sample: u64,
+    },
+    /// A batch passed admission and is about to execute.
+    Admitted {
+        /// Stage about to run.
+        stage: usize,
+        /// Samples admitted.
+        size: usize,
+    },
+    /// A sample was refused by the admission policy and dropped.
+    Dropped {
+        /// Request id.
+        sample: u64,
+        /// Stage at which it was dropped.
+        stage: usize,
+    },
+    /// The batching policy emitted a batch (full, or a deadline flush).
+    BatchFormed {
+        /// Stage the batch targets.
+        stage: usize,
+        /// Batch size.
+        size: usize,
+        /// True for a deadline flush below the target size.
+        partial: bool,
+    },
+    /// Survivors from an upstream batch entered a fusion buffer.
+    Fusion {
+        /// Receiving stage.
+        stage: usize,
+        /// Samples fused in.
+        size: usize,
+    },
+    /// A replica began executing a batch.
+    ExecStart {
+        /// Global replica id.
+        replica: usize,
+        /// Stage executed.
+        stage: usize,
+        /// Batch size.
+        size: usize,
+    },
+    /// A replica finished a batch.
+    ExecDone {
+        /// Global replica id.
+        replica: usize,
+        /// Stage executed.
+        stage: usize,
+        /// Batch size.
+        size: usize,
+    },
+    /// Surviving samples left for the next stage over the interconnect.
+    StageTransfer {
+        /// Sending stage.
+        from_stage: usize,
+        /// Receiving stage.
+        to_stage: usize,
+        /// Samples transferred.
+        size: usize,
+    },
+    /// A request finished (exited early or ran the full model).
+    Completion {
+        /// Request id.
+        sample: u64,
+        /// Whether it met the SLO.
+        within_slo: bool,
+    },
+    /// A replica was flagged as a straggler and excluded.
+    StragglerExcluded {
+        /// Global replica id.
+        replica: usize,
+    },
+}
+
+/// Receives the kernel's event stream.
+pub trait RunObserver {
+    /// Called once per event, at simulated time `now`, in execution order.
+    fn on_event(&mut self, now: SimTime, event: &KernelEvent);
+}
+
+/// Discards all events — the default observer behind
+/// [`crate::engine::ServingSim::run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl RunObserver for NullObserver {
+    fn on_event(&mut self, _now: SimTime, _event: &KernelEvent) {}
+}
+
+/// Records the full timestamped event stream (tests, tracing).
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    /// The recorded stream, in execution order.
+    pub events: Vec<(SimTime, KernelEvent)>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The events concerning request `id`, in order: its arrival, any
+    /// drop, and its completion.
+    pub fn for_sample(&self, id: u64) -> Vec<&KernelEvent> {
+        self.events
+            .iter()
+            .map(|(_, e)| e)
+            .filter(|e| {
+                matches!(
+                    e,
+                    KernelEvent::Arrival { sample }
+                    | KernelEvent::Dropped { sample, .. }
+                    | KernelEvent::Completion { sample, .. }
+                    if *sample == id
+                )
+            })
+            .collect()
+    }
+
+    /// Counts events matching `pred`.
+    pub fn count(&self, pred: impl Fn(&KernelEvent) -> bool) -> usize {
+        self.events.iter().filter(|(_, e)| pred(e)).count()
+    }
+}
+
+impl RunObserver for EventLog {
+    fn on_event(&mut self, now: SimTime, event: &KernelEvent) {
+        self.events.push((now, event.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_log_records_and_filters() {
+        let mut log = EventLog::new();
+        log.on_event(SimTime::ZERO, &KernelEvent::Arrival { sample: 7 });
+        log.on_event(
+            SimTime::from_millis(1),
+            &KernelEvent::BatchFormed {
+                stage: 0,
+                size: 8,
+                partial: false,
+            },
+        );
+        log.on_event(
+            SimTime::from_millis(2),
+            &KernelEvent::Completion {
+                sample: 7,
+                within_slo: true,
+            },
+        );
+        assert_eq!(log.events.len(), 3);
+        assert_eq!(log.for_sample(7).len(), 2);
+        assert_eq!(log.count(|e| matches!(e, KernelEvent::BatchFormed { .. })), 1);
+    }
+}

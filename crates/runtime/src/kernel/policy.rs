@@ -1,0 +1,451 @@
+//! Policy seams of the serving kernel.
+//!
+//! The kernel's event loop is policy-free: every scheduling decision that
+//! the paper treats as a *mechanism knob* — who gets admitted, how batches
+//! form, which replicas are stragglers — is delegated through one of the
+//! three traits here. [`crate::engine::ServingSim`] assembles the paper's
+//! defaults from its [`crate::engine::ServingConfig`]; tests and
+//! experiments can inject alternatives through
+//! [`crate::engine::ServingSim::run_with`].
+
+use e3_hardware::{LatencyModel, TransferModel};
+use e3_model::{EeModel, RampController};
+use e3_simcore::{SimDuration, SimTime};
+
+use crate::batch::{Batch, FusionBuffer};
+use crate::sample::SimSample;
+use crate::strategy::StageSpec;
+
+/// Decides, at dispatch time, whether a queued sample may still execute.
+///
+/// Consulted for every sample of every batch a replica pops; samples that
+/// are refused are dropped and counted in
+/// [`crate::report::RunReport::dropped`].
+pub trait AdmissionPolicy {
+    /// True if `sample`, about to start `stage` at `now`, should run.
+    fn admit(&self, now: SimTime, stage: usize, sample: &SimSample) -> bool;
+
+    /// True if this policy never refuses anything — lets the kernel skip
+    /// the per-sample filter on the hot path.
+    fn is_permissive(&self) -> bool {
+        false
+    }
+}
+
+/// Admits everything (closed-loop runs, or `drop_late = false`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmitAll;
+
+impl AdmissionPolicy for AdmitAll {
+    fn admit(&self, _now: SimTime, _stage: usize, _sample: &SimSample) -> bool {
+        true
+    }
+
+    fn is_permissive(&self) -> bool {
+        true
+    }
+}
+
+/// Clockwork-style SLO-slack admission (§3.3): a sample is dropped when
+/// even the remaining worst-case service time cannot land it inside its
+/// deadline.
+#[derive(Debug, Clone)]
+pub struct SloSlackAdmission {
+    slo: SimDuration,
+    /// Worst-case remaining service (no exits, full batch, slowest
+    /// replica kind) from each stage's start to completion, including
+    /// downstream transfers.
+    est_remaining: Vec<SimDuration>,
+}
+
+impl SloSlackAdmission {
+    /// Precomputes the worst-case remaining-service estimate for a stage
+    /// pipeline: full target batch, no early exits, each stage on its
+    /// slowest replica kind, plus the inter-stage transfers.
+    pub fn for_stages(
+        model: &EeModel,
+        ctrl: &RampController,
+        lm: &LatencyModel,
+        tm: &TransferModel,
+        stages: &[StageSpec],
+        slo: SimDuration,
+    ) -> Self {
+        let mut est_remaining = vec![SimDuration::ZERO; stages.len()];
+        for si in (0..stages.len()).rev() {
+            let st = &stages[si];
+            let worst_gpu = st
+                .replicas
+                .iter()
+                .copied()
+                .max_by(|a, b| {
+                    a.base_latency_factor()
+                        .partial_cmp(&b.base_latency_factor())
+                        .expect("finite")
+                })
+                .expect("nonempty");
+            let works: Vec<f64> = st
+                .layers
+                .clone()
+                .map(|k| {
+                    let l = model.layers()[k];
+                    let ramp = model.ramp_after(k).filter(|ri| ctrl.pays_cost_at(*ri));
+                    l.work_us
+                        + l.fixed_us
+                        + ramp.map_or(0.0, |ri| {
+                            let r = model.ramps()[ri];
+                            r.work_us + r.fixed_us
+                        })
+                })
+                .collect();
+            let batches = vec![st.target_batch as f64; works.len()];
+            let t = lm.layers_time(&works, &batches, worst_gpu);
+            let tx = if si + 1 < stages.len() {
+                tm.batch_transfer_time(
+                    model.boundary_bytes(st.layers.end - 1),
+                    st.target_batch as f64,
+                )
+            } else {
+                SimDuration::ZERO
+            };
+            est_remaining[si] = t
+                + tx
+                + est_remaining
+                    .get(si + 1)
+                    .copied()
+                    .unwrap_or(SimDuration::ZERO);
+        }
+        SloSlackAdmission { slo, est_remaining }
+    }
+
+    /// Builds a policy from explicit estimates (tests).
+    pub fn from_estimates(slo: SimDuration, est_remaining: Vec<SimDuration>) -> Self {
+        SloSlackAdmission { slo, est_remaining }
+    }
+
+    /// The worst-case remaining-service estimate for `stage`.
+    pub fn est_remaining(&self, stage: usize) -> SimDuration {
+        self.est_remaining[stage]
+    }
+}
+
+impl AdmissionPolicy for SloSlackAdmission {
+    fn admit(&self, now: SimTime, stage: usize, sample: &SimSample) -> bool {
+        now + self.est_remaining[stage] <= sample.arrival + self.slo
+    }
+}
+
+/// Forms batches from the per-stage streams of waiting samples.
+///
+/// The kernel pushes every sample that reaches a stage (fresh arrivals at
+/// stage 0, fused survivors downstream) and pulls batches back out: full
+/// batches eagerly, due partial batches when a flush timer fires. The
+/// policy owns the buffers; the kernel owns the timers.
+pub trait BatchingPolicy {
+    /// Accepts a sample arriving at `stage` at time `now`.
+    fn push(&mut self, stage: usize, sample: SimSample, now: SimTime);
+
+    /// Removes and returns a full batch for `stage`, if one can form.
+    fn take_full(&mut self, stage: usize, now: SimTime) -> Option<Batch>;
+
+    /// Removes and returns a partial batch if the stage's oldest waiter
+    /// has exceeded its wait bound (the deadline-flush path).
+    fn take_due(&mut self, stage: usize, now: SimTime) -> Option<Batch>;
+
+    /// When the stage's current contents should be force-flushed, if
+    /// ever. `None` disables the flush timer (strictly-full batching).
+    fn next_flush_at(&self, stage: usize, now: SimTime) -> Option<SimTime>;
+
+    /// True when nothing waits at `stage`.
+    fn is_empty(&self, stage: usize) -> bool;
+}
+
+/// The paper's batching: per-stage [`FusionBuffer`]s with a bounded wait —
+/// dynamic batching at the frontend and batch fusion at split boundaries
+/// (§3.3, §4).
+#[derive(Debug, Clone)]
+pub struct FusionBatching {
+    buffers: Vec<FusionBuffer>,
+    max_wait: SimDuration,
+    /// Per-stage wait overrides; empty = `max_wait` everywhere.
+    waits: Vec<SimDuration>,
+}
+
+impl FusionBatching {
+    /// Creates buffers targeting `targets[s]` samples at stage `s`.
+    pub fn new(targets: &[usize], max_wait: SimDuration, waits: Vec<SimDuration>) -> Self {
+        FusionBatching {
+            buffers: targets.iter().map(|&t| FusionBuffer::new(t)).collect(),
+            max_wait,
+            waits,
+        }
+    }
+
+    fn wait_for(&self, stage: usize) -> SimDuration {
+        self.waits.get(stage).copied().unwrap_or(self.max_wait)
+    }
+}
+
+impl BatchingPolicy for FusionBatching {
+    fn push(&mut self, stage: usize, sample: SimSample, now: SimTime) {
+        self.buffers[stage].push(sample, now);
+    }
+
+    fn take_full(&mut self, stage: usize, now: SimTime) -> Option<Batch> {
+        self.buffers[stage].take_full(now)
+    }
+
+    fn take_due(&mut self, stage: usize, now: SimTime) -> Option<Batch> {
+        let due = self.buffers[stage]
+            .oldest_enqueue()
+            .is_some_and(|t| now >= t + self.wait_for(stage));
+        if due {
+            self.buffers[stage].take_partial(now)
+        } else {
+            None
+        }
+    }
+
+    fn next_flush_at(&self, stage: usize, now: SimTime) -> Option<SimTime> {
+        self.buffers[stage]
+            .oldest_enqueue()
+            .map(|oldest| (oldest + self.wait_for(stage)).max(now))
+    }
+
+    fn is_empty(&self, stage: usize) -> bool {
+        self.buffers[stage].is_empty()
+    }
+}
+
+/// Strictly-full static batching: batches dispatch only at the target
+/// size, never on a deadline. The vanilla baseline's discipline; also
+/// exercises the kernel's policy seam in tests.
+#[derive(Debug, Clone)]
+pub struct StaticBatching {
+    buffers: Vec<FusionBuffer>,
+}
+
+impl StaticBatching {
+    /// Creates buffers targeting `targets[s]` samples at stage `s`.
+    pub fn new(targets: &[usize]) -> Self {
+        StaticBatching {
+            buffers: targets.iter().map(|&t| FusionBuffer::new(t)).collect(),
+        }
+    }
+}
+
+impl BatchingPolicy for StaticBatching {
+    fn push(&mut self, stage: usize, sample: SimSample, now: SimTime) {
+        self.buffers[stage].push(sample, now);
+    }
+
+    fn take_full(&mut self, stage: usize, now: SimTime) -> Option<Batch> {
+        self.buffers[stage].take_full(now)
+    }
+
+    fn take_due(&mut self, _stage: usize, _now: SimTime) -> Option<Batch> {
+        None
+    }
+
+    fn next_flush_at(&self, _stage: usize, _now: SimTime) -> Option<SimTime> {
+        None
+    }
+
+    fn is_empty(&self, stage: usize) -> bool {
+        self.buffers[stage].is_empty()
+    }
+}
+
+/// Service statistics of one replica, as seen by the straggler policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaPerf {
+    /// Batches the replica has finished.
+    pub batches_done: u32,
+    /// Sum over finished batches of (batch duration / batch size).
+    pub per_sample_secs_sum: f64,
+}
+
+impl ReplicaPerf {
+    /// Mean per-sample service time, if at least `warmup` batches ran.
+    fn mean_after(&self, warmup: u32) -> Option<f64> {
+        if self.batches_done >= warmup {
+            Some(self.per_sample_secs_sum / self.batches_done as f64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Flags degraded replicas for exclusion from future assignment (§3.3).
+///
+/// Consulted after every batch a replica completes; a `true` verdict
+/// excludes it and re-routes its queued work. The kernel only offers
+/// non-excluded stage peers for comparison.
+pub trait StragglerPolicy {
+    /// False lets the kernel skip monitoring entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// True if `candidate` should be excluded, judged against its peers.
+    fn should_exclude(&self, candidate: ReplicaPerf, peers: &[ReplicaPerf]) -> bool;
+}
+
+/// Straggler detection off (the default serving configuration).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoStragglerDetection;
+
+impl StragglerPolicy for NoStragglerDetection {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn should_exclude(&self, _candidate: ReplicaPerf, _peers: &[ReplicaPerf]) -> bool {
+        false
+    }
+}
+
+/// The paper's relative-slowdown monitor: a replica whose mean per-sample
+/// service time exceeds `slowdown_factor` times the best peer's, after a
+/// warm-up of `warmup_batches` batches, is a straggler.
+#[derive(Debug, Clone, Copy)]
+pub struct RelativeSlowdown {
+    /// Batches a replica must finish before it can be judged (or serve as
+    /// a reference peer).
+    pub warmup_batches: u32,
+    /// Exclusion threshold relative to the best peer's mean.
+    pub slowdown_factor: f64,
+}
+
+impl Default for RelativeSlowdown {
+    fn default() -> Self {
+        RelativeSlowdown {
+            warmup_batches: 3,
+            slowdown_factor: 1.8,
+        }
+    }
+}
+
+impl StragglerPolicy for RelativeSlowdown {
+    fn should_exclude(&self, candidate: ReplicaPerf, peers: &[ReplicaPerf]) -> bool {
+        let Some(mine) = candidate.mean_after(self.warmup_batches) else {
+            return false;
+        };
+        let best_peer = peers
+            .iter()
+            .filter_map(|p| p.mean_after(self.warmup_batches))
+            .fold(f64::INFINITY, f64::min);
+        best_peer.is_finite() && mine > self.slowdown_factor * best_peer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(arrival_ms: u64) -> SimSample {
+        SimSample {
+            id: 0,
+            arrival: SimTime::from_millis(arrival_ms),
+            layers_executed: 12,
+            exited_at_ramp: None,
+            correct: true,
+            output_tokens: 1,
+        }
+    }
+
+    #[test]
+    fn admit_all_is_permissive() {
+        let p = AdmitAll;
+        assert!(p.is_permissive());
+        assert!(p.admit(SimTime::from_millis(999), 0, &sample(0)));
+    }
+
+    #[test]
+    fn slo_slack_zero_slack_boundary() {
+        // est = 10ms, slo = 10ms: a sample dispatched the instant it
+        // arrives has exactly zero slack — still admitted (<=), while one
+        // nanosecond later it is dropped.
+        let p = SloSlackAdmission::from_estimates(
+            SimDuration::from_millis(10),
+            vec![SimDuration::from_millis(10)],
+        );
+        let s = sample(0);
+        assert!(p.admit(SimTime::ZERO, 0, &s), "zero slack is still feasible");
+        assert!(
+            !p.admit(SimTime::from_nanos(1), 0, &s),
+            "any delay past zero slack must drop"
+        );
+    }
+
+    #[test]
+    fn slo_slack_batch_exactly_at_deadline() {
+        // Worst-case service lands exactly on the deadline: admitted.
+        let p = SloSlackAdmission::from_estimates(
+            SimDuration::from_millis(40),
+            vec![SimDuration::from_millis(25)],
+        );
+        let s = sample(5); // deadline at 45ms
+        assert!(p.admit(SimTime::from_millis(20), 0, &s));
+        assert!(!p.admit(SimTime::from_millis(21), 0, &s));
+    }
+
+    #[test]
+    fn slo_slack_later_stage_uses_its_own_estimate() {
+        let p = SloSlackAdmission::from_estimates(
+            SimDuration::from_millis(30),
+            vec![SimDuration::from_millis(28), SimDuration::from_millis(3)],
+        );
+        let s = sample(0);
+        // At 10ms the full pipeline can no longer finish by 30ms…
+        assert!(!p.admit(SimTime::from_millis(10), 0, &s));
+        // …but a survivor already at the last stage can.
+        assert!(p.admit(SimTime::from_millis(10), 1, &s));
+    }
+
+    #[test]
+    fn relative_slowdown_needs_warmup_and_peers() {
+        let pol = RelativeSlowdown::default();
+        let slow = ReplicaPerf {
+            batches_done: 2,
+            per_sample_secs_sum: 2.0, // mean 1.0 — but below warm-up
+        };
+        let fast = ReplicaPerf {
+            batches_done: 10,
+            per_sample_secs_sum: 1.0, // mean 0.1
+        };
+        assert!(!pol.should_exclude(slow, &[fast]), "warm-up not reached");
+        let warmed = ReplicaPerf {
+            batches_done: 3,
+            per_sample_secs_sum: 3.0, // mean 1.0 > 1.8 * 0.1
+        };
+        assert!(pol.should_exclude(warmed, &[fast]));
+        assert!(!pol.should_exclude(warmed, &[]), "no peers, no verdict");
+    }
+
+    #[test]
+    fn empty_fusion_buffer_never_schedules_a_flush() {
+        let mut b = FusionBatching::new(&[4], SimDuration::from_millis(5), Vec::new());
+        assert!(b.is_empty(0));
+        assert!(b.take_due(0, SimTime::from_secs(1)).is_none());
+        assert!(b.next_flush_at(0, SimTime::from_secs(1)).is_none());
+
+        // Once occupied, the flush deadline appears, and firing it both
+        // drains the buffer and disarms the next deadline.
+        b.push(0, sample(0), SimTime::from_secs(1));
+        let at = b.next_flush_at(0, SimTime::from_secs(1)).expect("armed");
+        assert_eq!(at, SimTime::from_secs(1) + SimDuration::from_millis(5));
+        assert!(b.take_due(0, at).is_some());
+        assert!(b.is_empty(0));
+        assert!(b.next_flush_at(0, at).is_none());
+    }
+
+    #[test]
+    fn static_batching_never_flushes_partials() {
+        let mut b = StaticBatching::new(&[4]);
+        b.push(0, sample(0), SimTime::ZERO);
+        assert!(b.take_full(0, SimTime::ZERO).is_none());
+        assert!(b.take_due(0, SimTime::from_secs(100)).is_none());
+        assert!(b.next_flush_at(0, SimTime::from_secs(100)).is_none());
+        assert!(!b.is_empty(0));
+    }
+}

@@ -1,7 +1,7 @@
 //! # e3-runtime
 //!
 //! The serving runtime (§3.3, §4), as a deterministic discrete-event
-//! simulation.
+//! simulation built around one policy-pluggable serving **kernel**.
 //!
 //! One [`engine::ServingSim`] executes a request stream against an
 //! execution strategy:
@@ -17,6 +17,9 @@
 //!   constant batch size, pipelined transfers, SLO-slack drops, and
 //!   straggler detection.
 //!
+//! All three run through the same event loop; what differs is the stage
+//! layout and the policies plugged into the kernel's seams.
+//!
 //! Module map:
 //!
 //! * [`sample`] — per-request materialized outcomes (exit layer,
@@ -24,7 +27,17 @@
 //! * [`batch`] — dynamic batcher (open loop) and fusion buffers;
 //! * [`executor`] — per-replica batch execution-time computation, honoring
 //!   per-layer surviving batch sizes and ramp costs;
-//! * [`engine`] — the event loop;
+//! * [`kernel`] — the unified event loop plus its seams:
+//!   [`kernel::AdmissionPolicy`] (admit/drop at dispatch),
+//!   [`kernel::BatchingPolicy`] (dynamic batching, fusion buffers, static
+//!   batching), [`kernel::StragglerPolicy`] (exclusion), the
+//!   [`kernel::RunObserver`] hook receiving typed [`kernel::KernelEvent`]s,
+//!   and the shared [`kernel::RunAccumulator`];
+//! * [`engine`] — the [`engine::ServingSim`] facade: validates the stage
+//!   layout, materializes requests, assembles the default policies from
+//!   [`engine::ServingConfig`], and drives the kernel;
+//! * [`serial`] — the "model parallelism OFF" barrier mode, on the same
+//!   clock and accumulator;
 //! * [`report`] — run metrics: goodput, latency quartiles, utilization,
 //!   drops, accuracy, per-window exit observations;
 //! * [`strategy`] — strategy construction, including the data-parallel
@@ -36,11 +49,15 @@ pub mod autoreg;
 pub mod batch;
 pub mod engine;
 pub mod executor;
+pub mod kernel;
 pub mod report;
 pub mod sample;
 pub mod serial;
 pub mod strategy;
 
 pub use engine::{ServingConfig, ServingSim};
+pub use kernel::{
+    AdmissionPolicy, BatchingPolicy, KernelEvent, KernelPolicies, RunObserver, StragglerPolicy,
+};
 pub use report::RunReport;
 pub use strategy::Strategy;

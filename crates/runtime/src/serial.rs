@@ -8,18 +8,23 @@
 //! re-forms full batches, and only then starts stage `s+1`. The idle
 //! time at each barrier (the max-minus-mean of the wave) is what the
 //! pipelined mode eliminates — the gap plotted in fig. 26.
+//!
+//! The driver shares the kernel's primitives: the clock is an
+//! [`EventQueue`] advanced in lockstep ([`EventQueue::advance`] — no
+//! events interleave between barriers, by construction), and metrics flow
+//! through the same [`RunAccumulator`] the event-driven kernel uses.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use e3_hardware::{GpuKind, LatencyModel, LinkKind, TransferModel};
 use e3_model::{EeModel, ExitPolicy, InferenceSim, RampController};
-use e3_simcore::metrics::{DurationHistogram, UtilizationTracker};
-use e3_simcore::{SimDuration, SimTime};
+use e3_simcore::{EventQueue, SimDuration, SimTime};
 use e3_workload::Request;
 
 use crate::executor::execute_batch;
-use crate::report::{ExitEvent, RunReport};
+use crate::kernel::RunAccumulator;
+use crate::report::RunReport;
 use crate::sample::SimSample;
 
 /// Runs the serial-barrier mode over `requests`.
@@ -61,17 +66,17 @@ pub fn run_serial_barrier(
 
     let gather = TransferModel::new(LinkKind::Pcie);
     let m = gpus.len();
-    let mut clock = SimTime::ZERO;
-    let mut latency = DurationHistogram::new();
-    let mut util: Vec<UtilizationTracker> = (0..m).map(|_| UtilizationTracker::new()).collect();
-    let mut completed = 0u64;
-    let mut within_slo = 0u64;
-    let mut correct = 0u64;
-    let mut exit_events = Vec::new();
+    // Pure lockstep: the queue only lends its clock; nothing is scheduled.
+    let mut q: EventQueue<()> = EventQueue::new();
+    let mut acc = RunAccumulator::new(stages.len(), m, slo, true);
+    // Every dispatch in this mode is exactly b0 wide, at every stage.
+    for st in 0..stages.len() {
+        acc.record_dispatch(st, b0 as f64);
+    }
 
     // Super-rounds of m * b0 samples keep every GPU busy in stage 0.
     for chunk in samples.chunks(m * b0) {
-        let round_start = clock;
+        let round_start = q.now();
         let mut alive: Vec<SimSample> = chunk.to_vec();
         for stage in &stages {
             if alive.is_empty() {
@@ -94,10 +99,10 @@ pub fn run_serial_barrier(
                         true,
                         1.0,
                     );
-                    util[g].record_busy(out.duration, out.mean_occupancy);
+                    acc.record_busy(g, out.duration, out.mean_occupancy);
                     wave_max = wave_max.max(out.duration);
                 }
-                clock += wave_max; // the barrier: everyone waits for the slowest
+                q.advance(wave_max); // the barrier: everyone waits for the slowest
             }
             // Gather survivors across GPUs over shared PCIe.
             let survivors: Vec<SimSample> = alive
@@ -111,44 +116,25 @@ pub fn run_serial_barrier(
                 .copied()
                 .collect();
             if stage.end < model.num_layers() && !survivors.is_empty() {
-                clock += gather
-                    .batch_transfer_time(model.boundary_bytes(stage.end - 1), survivors.len() as f64);
+                q.advance(
+                    gather.batch_transfer_time(
+                        model.boundary_bytes(stage.end - 1),
+                        survivors.len() as f64,
+                    ),
+                );
             }
-            for s in finished {
-                let lat = clock.saturating_since(round_start);
-                latency.record(lat);
-                completed += 1;
-                if lat <= slo {
-                    within_slo += 1;
-                }
-                if s.correct {
-                    correct += 1;
-                }
-                exit_events.push(ExitEvent {
-                    at: clock,
-                    layers_executed: s.layers_executed,
-                    exited_early: s.exited_at_ramp.is_some(),
-                });
+            let clock = q.now();
+            for mut s in finished {
+                s.arrival = round_start; // latency = time since the round began
+                acc.complete(&s, clock);
             }
             alive = survivors;
         }
         assert!(alive.is_empty(), "samples survived past the final stage");
     }
 
-    RunReport {
-        duration: clock.saturating_since(SimTime::ZERO),
-        completed,
-        within_slo,
-        dropped: 0,
-        correct,
-        latency,
-        replica_util: util,
-        mean_dispatch_batch: vec![b0 as f64; stages.len()],
-        exit_events,
-        slo,
-        stragglers_detected: Vec::new(),
-        peak_queue_depth: vec![0; stages.len()],
-    }
+    let duration = q.now().saturating_since(SimTime::ZERO);
+    acc.finish(duration)
 }
 
 #[cfg(test)]
@@ -226,5 +212,16 @@ mod tests {
         let b = run(&[4, 8], 4, 8);
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.latency.samples_ms(), b.latency.samples_ms());
+    }
+
+    #[test]
+    fn report_shape_matches_barrier_mode() {
+        // The accumulator path must reproduce the mode's fixed-shape
+        // fields: constant dispatch width, no drops, no stragglers.
+        let r = run(&[4, 8], 4, 8);
+        assert_eq!(r.mean_dispatch_batch, vec![8.0, 8.0, 8.0]);
+        assert_eq!(r.peak_queue_depth, vec![0, 0, 0]);
+        assert!(r.stragglers_detected.is_empty());
+        assert_eq!(r.exit_events.len() as u64, r.completed);
     }
 }

@@ -137,6 +137,26 @@ impl<E> EventQueue<E> {
         self.schedule(at, event);
     }
 
+    /// Advances the clock by `d` without popping an event, returning the
+    /// new time. Lets barrier-style drivers (lockstep waves with no event
+    /// interleaving) share the queue's clock with event-driven code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pending event is scheduled before the new time — the
+    /// advance would silently skip it.
+    pub fn advance(&mut self, d: crate::time::SimDuration) -> SimTime {
+        let to = self.now + d;
+        if let Some(at) = self.peek_time() {
+            assert!(
+                at >= to,
+                "advance past a pending event: pending at={at}, advancing to {to}"
+            );
+        }
+        self.now = to;
+        to
+    }
+
     /// Pops the earliest event and advances the clock to its timestamp.
     /// Returns `None` when the queue is drained.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
@@ -216,6 +236,25 @@ mod tests {
         let ev = q.pop().unwrap();
         assert_eq!(ev.at, SimTime::from_millis(15));
         assert_eq!(ev.event, "b");
+    }
+
+    #[test]
+    fn advance_moves_clock_without_popping() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.advance(SimDuration::from_millis(4)), SimTime::from_millis(4));
+        assert_eq!(q.now(), SimTime::from_millis(4));
+        assert_eq!(q.processed(), 0);
+        q.schedule(SimTime::from_millis(10), ());
+        q.advance(SimDuration::from_millis(6)); // exactly onto the event: ok
+        assert_eq!(q.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past a pending event")]
+    fn advance_past_pending_event_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), ());
+        q.advance(SimDuration::from_millis(2));
     }
 
     #[test]

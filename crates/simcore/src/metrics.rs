@@ -122,7 +122,7 @@ impl TimeSeries {
     /// order; this is asserted in debug builds.
     pub fn push(&mut self, t: SimTime, v: f64) {
         debug_assert!(
-            self.points.last().map_or(true, |(last, _)| *last <= t),
+            self.points.last().is_none_or(|(last, _)| *last <= t),
             "time series points must be pushed in order"
         );
         self.points.push((t, v));

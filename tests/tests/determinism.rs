@@ -3,9 +3,10 @@
 //! tables in `EXPERIMENTS.md` regenerable.
 
 use e3::harness::{build_e3_plan, run_closed_loop, HarnessOpts, ModelFamily, SystemKind};
-use e3::{E3Config, E3System};
-use e3_hardware::ClusterSpec;
+use e3::{DeploymentBuilder, E3Config, E3System};
+use e3_hardware::{ClusterSpec, GpuKind};
 use e3_model::zoo;
+use e3_runtime::Strategy;
 use e3_workload::{ArrivalProcess, DatasetModel, WorkloadGenerator};
 use e3_simcore::SimDuration;
 use rand::rngs::StdRng;
@@ -69,6 +70,40 @@ fn control_loop_is_deterministic() {
         assert_eq!(wa.run.completed, wb.run.completed);
         assert_eq!(wa.predicted.survival(), wb.predicted.survival());
     }
+}
+
+#[test]
+fn kernel_reruns_produce_identical_reports() {
+    // Drive one ServingSim (the unified serving kernel) twice with the
+    // same seed under overload, so admission drops, fusion flushes, and
+    // completions are all exercised, and require the reports to agree
+    // bit-for-bit on goodput, drops, and the latency quartiles.
+    let family = ModelFamily::nlp();
+    let cluster = ClusterSpec::homogeneous(GpuKind::V100, 2, 2);
+    let ds = DatasetModel::sst2();
+    let plan = build_e3_plan(&family, &cluster, 8, &ds, &HarnessOpts::default(), 24);
+    let strategy = Strategy::Plan(plan);
+    let g = WorkloadGenerator::new(
+        ArrivalProcess::Poisson { rate: 8000.0 },
+        ds.clone(),
+        SimDuration::from_secs(3),
+    );
+    let reqs = g.generate(0, &mut StdRng::seed_from_u64(5));
+    let sim = DeploymentBuilder::new(&family.ee, family.policy, &strategy, &cluster)
+        .with_latency_model(family.latency_model())
+        .open_loop(g.horizon())
+        .build();
+    let a = sim.run(&reqs, 24);
+    let b = sim.run(&reqs, 24);
+    assert!(a.dropped > 0, "overload must shed load");
+    assert_eq!(a.goodput().to_bits(), b.goodput().to_bits());
+    assert_eq!(a.dropped, b.dropped);
+    let (qa, qb) = (a.latency_summary_ms(), b.latency_summary_ms());
+    assert_eq!(
+        [qa.min, qa.p25, qa.median, qa.p75, qa.max].map(f64::to_bits),
+        [qb.min, qb.p25, qb.median, qb.p75, qb.max].map(f64::to_bits),
+    );
+    assert_eq!(a.latency.samples_ms(), b.latency.samples_ms());
 }
 
 #[test]
