@@ -1,32 +1,6 @@
 //! Fig. 7 — NLP goodput vs batch size on 16 homogeneous V100s:
 //! BERT-BASE vs DeeBERT vs E3.
 
-use e3::harness::{HarnessOpts, ModelFamily};
-use e3_bench::{exp, takeaway};
-use e3_hardware::ClusterSpec;
-use e3_workload::DatasetModel;
-
 fn main() {
-    println!("Figure 7: NLP goodput (samples/s), 16 x V100, SST-2-like workload\n");
-    let rows = exp::goodput_sweep(
-        "goodput vs batch size",
-        &ModelFamily::nlp(),
-        &ClusterSpec::paper_homogeneous_v100(),
-        &[1, 2, 4, 8],
-        &DatasetModel::sst2(),
-        &HarnessOpts::default(),
-        &[
-            ("BERT-BASE", &[1632.0, 3088.0, 6025.0, 6484.0]),
-            ("DeeBERT", &[2214.0, 3174.0, 5385.0, 5229.0]),
-            ("E3", &[2186.0, 3504.0, 7132.0, 7550.0]),
-        ],
-    );
-    let e3_8 = rows[2].1[3];
-    let dee_8 = rows[1].1[3];
-    let bert_8 = rows[0].1[3];
-    takeaway(&format!(
-        "at b=8: E3/DeeBERT = {:.2}x (paper 1.44x), E3/BERT = {:.2}x (paper 1.16x); DeeBERT beats BERT only at b=1",
-        e3_8 / dee_8,
-        e3_8 / bert_8
-    ));
+    print!("{}", e3_bench::figs::fig07_report());
 }

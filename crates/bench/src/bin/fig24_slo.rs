@@ -1,62 +1,6 @@
 //! Fig. 24 — impact of the SLO: stricter SLOs cap the feasible batch
 //! size; as the SLO loosens, batching opportunity (and E3's edge) grows.
 
-use e3::harness::{HarnessOpts, ModelFamily};
-use e3_bench::exp::Experiment;
-use e3_bench::{takeaway, Table, SEED};
-use e3_hardware::ClusterSpec;
-use e3_simcore::SimDuration;
-use e3_workload::DatasetModel;
-
-/// Largest batch whose worst-case latency fits the SLO budget, per the
-/// optimizer's own feasibility rule (§3.2): formation + serial path +
-/// pipeline occupancy <= SLO - slack.
-fn max_batch_for_slo(exp: &Experiment, slo_ms: u64) -> usize {
-    use e3::harness::build_e3_plan;
-    let mut best = 1usize;
-    for b in [1usize, 2, 4, 8, 16, 32, 64] {
-        let opts = HarnessOpts {
-            slo: SimDuration::from_millis(slo_ms),
-            ..Default::default()
-        };
-        let plan = build_e3_plan(&exp.family, &exp.cluster, b, &exp.dataset, &opts, SEED);
-        let budget = SimDuration::from_millis(slo_ms).mul_f64(0.8);
-        if plan.worst_case_latency <= budget {
-            best = b;
-        }
-    }
-    best
-}
-
 fn main() {
-    println!("Figure 24: goodput as the SLO (and thus max batch) varies, 16 x V100\n");
-    let mut exp = Experiment::new(
-        ModelFamily::nlp(),
-        ClusterSpec::paper_homogeneous_v100(),
-        DatasetModel::sst2(),
-    );
-    let slos = [25u64, 50, 100, 250, 500, 1000];
-    let cols: Vec<String> = slos.iter().map(|s| format!("{s}ms")).collect();
-    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-    let mut t = Table::new("goodput at the SLO-feasible batch size", &col_refs);
-    let batches: Vec<usize> = slos.iter().map(|&s| max_batch_for_slo(&exp, s)).collect();
-    t.row_str(
-        "max feasible batch",
-        &batches.iter().map(|b| format!("{b}")).collect::<Vec<_>>(),
-    );
-    for (name, kind) in exp.systems() {
-        let gs: Vec<f64> = slos
-            .iter()
-            .zip(&batches)
-            .map(|(&s, &b)| {
-                exp.opts.slo = SimDuration::from_millis(s);
-                exp.goodput(kind, b)
-            })
-            .collect();
-        t.row(name, &gs);
-    }
-    t.print();
-    takeaway(
-        "tight SLOs force small batches where DeeBERT is competitive; looser SLOs unlock batching and E3 pulls ahead (paper: up to +63% over DeeBERT)",
-    );
+    print!("{}", e3_bench::figs::fig24_report());
 }

@@ -18,6 +18,8 @@
 
 use std::fmt::Write as _;
 
+pub mod figs;
+
 /// Default request count per closed-loop measurement point.
 pub const RUN_N: usize = 20_000;
 /// Root seed for all experiments.
@@ -116,9 +118,14 @@ impl Table {
     }
 }
 
+/// Renders a one-line takeaway for placing under a table.
+pub fn takeaway_line(msg: &str) -> String {
+    format!("  -> {msg}\n")
+}
+
 /// Prints a one-line takeaway under a table.
 pub fn takeaway(msg: &str) {
-    println!("  -> {msg}\n");
+    println!("{}", takeaway_line(msg));
 }
 
 #[cfg(test)]
@@ -222,9 +229,10 @@ pub mod exp {
         }
     }
 
-    /// Runs the three systems over a batch-size sweep and prints a table;
-    /// returns measured goodputs as `[(system, per-batch goodput)]`.
-    pub fn goodput_sweep(
+    /// Runs the three systems over a batch-size sweep; returns measured
+    /// goodputs as `[(system, per-batch goodput)]` plus the rendered
+    /// table (not printed).
+    pub fn goodput_sweep_report(
         title: &str,
         family: &ModelFamily,
         cluster: &ClusterSpec,
@@ -232,7 +240,7 @@ pub mod exp {
         dataset: &DatasetModel,
         opts: &HarnessOpts,
         paper_rows: &[(&str, &[f64])],
-    ) -> Vec<(String, Vec<f64>)> {
+    ) -> (Vec<(String, Vec<f64>)>, String) {
         let exp = Experiment::new(family.clone(), cluster.clone(), dataset.clone())
             .with_opts(opts.clone());
         let cols: Vec<String> = batches.iter().map(|b| format!("b={b}")).collect();
@@ -247,7 +255,23 @@ pub mod exp {
         for (label, vals) in paper_rows {
             t.row(format!("paper:{label}"), vals);
         }
-        t.print();
+        (out, t.render())
+    }
+
+    /// Runs the three systems over a batch-size sweep and prints a table;
+    /// returns measured goodputs as `[(system, per-batch goodput)]`.
+    pub fn goodput_sweep(
+        title: &str,
+        family: &ModelFamily,
+        cluster: &ClusterSpec,
+        batches: &[usize],
+        dataset: &DatasetModel,
+        opts: &HarnessOpts,
+        paper_rows: &[(&str, &[f64])],
+    ) -> Vec<(String, Vec<f64>)> {
+        let (out, rendered) =
+            goodput_sweep_report(title, family, cluster, batches, dataset, opts, paper_rows);
+        print!("{rendered}");
         out
     }
 }

@@ -10,7 +10,7 @@
 
 use e3_hardware::{ClusterSpec, LatencyModel, TransferModel};
 use e3_model::{EeModel, ExitPolicy, InferenceSim, RampController};
-use e3_runtime::{ServingConfig, ServingSim, Strategy};
+use e3_runtime::{FaultPlan, ServingConfig, ServingSim, Strategy};
 use e3_simcore::SimDuration;
 
 /// Builds a [`ServingSim`] from the deployment triple (model, strategy,
@@ -29,6 +29,8 @@ pub struct DeploymentBuilder<'a> {
     slo: SimDuration,
     closed_loop: bool,
     horizon: Option<SimDuration>,
+    fault_plan: FaultPlan,
+    detect_stragglers: bool,
 }
 
 impl<'a> DeploymentBuilder<'a> {
@@ -51,6 +53,8 @@ impl<'a> DeploymentBuilder<'a> {
             slo: SimDuration::from_millis(100),
             closed_loop: true,
             horizon: None,
+            fault_plan: FaultPlan::new(),
+            detect_stragglers: false,
         }
     }
 
@@ -92,6 +96,18 @@ impl<'a> DeploymentBuilder<'a> {
         self
     }
 
+    /// Injects a deterministic fault schedule into the run.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Enables straggler detection/exclusion (§3.3).
+    pub fn with_straggler_detection(mut self, on: bool) -> Self {
+        self.detect_stragglers = on;
+        self
+    }
+
     /// Realizes the strategy and assembles the simulator.
     pub fn build(self) -> ServingSim<'a> {
         let stages = self.strategy.realize(self.model, self.cluster);
@@ -108,6 +124,8 @@ impl<'a> DeploymentBuilder<'a> {
                 closed_loop: self.closed_loop,
                 horizon: self.horizon,
                 fusion_waits: fusion_waits(self.strategy, self.slo),
+                fault_plan: self.fault_plan,
+                detect_stragglers: self.detect_stragglers,
                 ..Default::default()
             },
         )

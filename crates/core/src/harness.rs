@@ -10,7 +10,7 @@ use e3_hardware::{ClusterSpec, ExitOverheads, LatencyModel, TransferModel};
 use e3_model::{zoo, EeModel, ExitPolicy, InferenceSim, RampController};
 use e3_optimizer::auto::plan_for_cluster;
 use e3_optimizer::{OptimizerConfig, SplitPlan};
-use e3_runtime::{RunReport, Strategy};
+use e3_runtime::{FaultPlan, RunReport, Strategy};
 use e3_simcore::{SeedSplitter, SimDuration};
 use e3_workload::{DatasetModel, Request, WorkloadGenerator};
 use rand::rngs::StdRng;
@@ -127,6 +127,11 @@ pub struct HarnessOpts {
     /// Realization penalty per extra split passed to the optimizer (see
     /// `OptimizerConfig::stage_overhead_frac`).
     pub stage_overhead_frac: f64,
+    /// Deterministic fault schedule injected into the serving run (empty
+    /// = fault-free).
+    pub fault_plan: FaultPlan,
+    /// Enable straggler detection/exclusion in the serving run.
+    pub detect_stragglers: bool,
 }
 
 impl Default for HarnessOpts {
@@ -139,6 +144,8 @@ impl Default for HarnessOpts {
             profile_error: 0.0,
             profile_samples: 4000,
             stage_overhead_frac: OptimizerConfig::default().stage_overhead_frac,
+            fault_plan: FaultPlan::new(),
+            detect_stragglers: false,
         }
     }
 }
@@ -252,6 +259,8 @@ pub fn run_closed_loop(
         .with_inference(infer)
         .with_latency_model(family.latency_model())
         .with_slo(opts.slo)
+        .with_fault_plan(opts.fault_plan.clone())
+        .with_straggler_detection(opts.detect_stragglers)
         .build();
     let reqs = closed_loop_requests(dataset, n, SeedSplitter::new(seed).derive("requests"));
     sim.run(&reqs, SeedSplitter::new(seed).derive("run"))
@@ -287,6 +296,8 @@ pub fn run_open_loop(
         .with_inference(infer)
         .with_latency_model(family.latency_model())
         .with_slo(opts.slo)
+        .with_fault_plan(opts.fault_plan.clone())
+        .with_straggler_detection(opts.detect_stragglers)
         .open_loop(generator.horizon())
         .build();
     let mut rng = StdRng::seed_from_u64(SeedSplitter::new(seed).derive("open-reqs"));

@@ -19,6 +19,9 @@ pub struct WindowReport {
     pub run: RunReport,
     /// Mean absolute survival error of the prediction (fig. 21/22).
     pub drift: f64,
+    /// GPUs the control loop planned against this window — shrinks when
+    /// earlier windows lost replicas to unrecovered crashes.
+    pub cluster_gpus: usize,
 }
 
 /// A full multi-window E3 run.

@@ -13,7 +13,7 @@ use e3_model::{BatchProfile, EeModel, ExitPolicy, InferenceSim, RampController};
 use e3_optimizer::auto::plan_for_cluster;
 use e3_optimizer::OptimizerConfig;
 use e3_profiler::{BatchProfileEstimator, WindowObserver};
-use e3_runtime::Strategy;
+use e3_runtime::{FaultPlan, Strategy};
 use e3_simcore::SeedSplitter;
 use e3_workload::{DatasetModel, Request};
 use rand::rngs::StdRng;
@@ -72,12 +72,32 @@ impl E3System {
     /// Returns per-window predictions, observations, plans, and serving
     /// metrics.
     pub fn run_windows(&self, phases: &[DatasetModel]) -> E3Report {
+        self.run_windows_with_faults(phases, &[])
+    }
+
+    /// Like [`E3System::run_windows`], injecting `faults[w]` into window
+    /// `w`'s serving run (windows past the end of `faults` run
+    /// fault-free).
+    ///
+    /// This is the recovery path §3.3 sketches: replicas crashed by a
+    /// window's fault plan and never recovered within it are treated as
+    /// permanently lost — the periodic re-optimization recomputes every
+    /// subsequent window's plan against the shrunken cluster, so
+    /// surviving replicas absorb the load in a configuration the DP
+    /// optimizer actually chose for them.
+    pub fn run_windows_with_faults(
+        &self,
+        phases: &[DatasetModel],
+        faults: &[FaultPlan],
+    ) -> E3Report {
         let seeds = SeedSplitter::new(self.cfg.seed);
         let mut estimator =
             BatchProfileEstimator::new(self.model.num_layers(), self.cfg.estimator);
         let mut windows = Vec::with_capacity(phases.len());
+        let mut cluster = self.cluster.clone();
 
         for (w, dataset) in phases.iter().enumerate() {
+            let fault_plan = faults.get(w).cloned().unwrap_or_default();
             let predicted = estimator.forecast();
             let full_ctrl = RampController::all_enabled(
                 self.model.num_ramps(),
@@ -87,7 +107,7 @@ impl E3System {
                 &self.model,
                 &full_ctrl,
                 &predicted,
-                &self.cluster,
+                &cluster,
                 self.cfg.batch.max(1) as f64,
                 &self.tm,
                 &self.lm,
@@ -117,14 +137,28 @@ impl E3System {
                 })
                 .collect();
             let strategy = Strategy::Plan(plan.clone());
-            let sim = DeploymentBuilder::new(&self.model, self.policy, &strategy, &self.cluster)
+            let stages = strategy.realize(&self.model, &cluster);
+            let sim = DeploymentBuilder::new(&self.model, self.policy, &strategy, &cluster)
                 .with_ctrl(serve_ctrl)
                 .with_inference(self.infer)
                 .with_latency_model(self.lm)
                 .with_transfer_model(self.tm)
                 .with_slo(self.cfg.slo)
+                .with_fault_plan(fault_plan.clone())
                 .build();
             let run = sim.run(&requests, seeds.derive_indexed("window-run", w as u64));
+            let cluster_gpus = cluster.num_gpus();
+
+            // Replicas lost for good this window shrink the cluster the
+            // optimizer sees from the next window on.
+            let replica_kinds: Vec<_> = stages.iter().flat_map(|s| s.replicas.clone()).collect();
+            for rid in fault_plan.permanently_crashed() {
+                if let Some(&kind) = replica_kinds.get(rid) {
+                    if cluster.num_gpus() > 1 {
+                        cluster = cluster.without(kind, 1);
+                    }
+                }
+            }
 
             // Observe the realized profile.
             let mut obs = WindowObserver::new(self.model.num_layers());
@@ -154,6 +188,7 @@ impl E3System {
                 plan,
                 run,
                 drift,
+                cluster_gpus,
             });
         }
         E3Report { windows }

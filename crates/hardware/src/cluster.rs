@@ -179,6 +179,30 @@ impl ClusterSpec {
     pub fn is_heterogeneous(&self) -> bool {
         self.kinds().len() > 1
     }
+
+    /// The cluster with `count` GPUs of `kind` removed (from the
+    /// highest-numbered machines first) — how the control loop models a
+    /// cluster shrunk by permanently crashed replicas when it re-plans.
+    /// Removes as many as exist if fewer than `count` are present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if removal would leave the cluster empty.
+    pub fn without(&self, kind: GpuKind, count: usize) -> Self {
+        let mut machines = self.machines.clone();
+        let mut left = count;
+        for m in machines.iter_mut().rev() {
+            while left > 0 {
+                let Some(pos) = m.gpus.iter().rposition(|&g| g == kind) else {
+                    break;
+                };
+                m.gpus.remove(pos);
+                left -= 1;
+            }
+        }
+        machines.retain(|m| !m.gpus.is_empty());
+        ClusterSpec::new(machines)
+    }
 }
 
 #[cfg(test)]
@@ -236,5 +260,28 @@ mod tests {
     #[should_panic(expected = "empty cluster")]
     fn empty_cluster_rejected() {
         let _ = ClusterSpec::homogeneous(GpuKind::V100, 0, 2);
+    }
+
+    #[test]
+    fn without_shrinks_and_renumbers() {
+        let c = ClusterSpec::homogeneous(GpuKind::V100, 6, 2);
+        let s = c.without(GpuKind::V100, 2);
+        assert_eq!(s.num_gpus(), 4);
+        assert_eq!(s.machines().len(), 2);
+        for (i, g) in s.gpus().iter().enumerate() {
+            assert_eq!(g.id, i);
+        }
+        // Removing a kind that isn't present changes nothing.
+        let same = c.without(GpuKind::A6000, 3);
+        assert_eq!(same.num_gpus(), 6);
+    }
+
+    #[test]
+    fn without_prefers_highest_machines_and_caps_at_present() {
+        let c = ClusterSpec::paper_heterogeneous();
+        let s = c.without(GpuKind::K80, 100);
+        assert!(!s.gpu_counts().contains_key(&GpuKind::K80));
+        assert_eq!(s.gpu_counts()[&GpuKind::V100], 6);
+        assert_eq!(s.gpu_counts()[&GpuKind::P100], 8);
     }
 }

@@ -36,8 +36,8 @@ use e3_simcore::{SimDuration, SimTime};
 use e3_workload::Request;
 
 use crate::kernel::{
-    AdmitAll, FusionBatching, Kernel, KernelPolicies, NoStragglerDetection, NullObserver,
-    RelativeSlowdown, RunObserver, SloSlackAdmission,
+    AdmitAll, FaultPlan, FusionBatching, Kernel, KernelPolicies, NoStragglerDetection,
+    NullObserver, RelativeSlowdown, RunObserver, SloSlackAdmission,
 };
 use crate::report::RunReport;
 use crate::sample::SimSample;
@@ -68,6 +68,10 @@ pub struct ServingConfig {
     pub straggler_slowdowns: Vec<(usize, f64)>,
     /// Enable straggler detection/exclusion.
     pub detect_stragglers: bool,
+    /// Deterministic fault schedule applied by the kernel (crashes,
+    /// transient slowdowns, stage stalls, delayed recoveries). Empty by
+    /// default: no faults, byte-identical to a fault-free run.
+    pub fault_plan: FaultPlan,
     /// Report duration floor (open-loop traces with idle tails divide
     /// goodput by the full horizon, not the last completion).
     pub horizon: Option<SimDuration>,
@@ -84,6 +88,7 @@ impl Default for ServingConfig {
             record_exit_events: true,
             straggler_slowdowns: Vec::new(),
             detect_stragglers: false,
+            fault_plan: FaultPlan::new(),
             horizon: None,
         }
     }

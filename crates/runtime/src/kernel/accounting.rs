@@ -29,6 +29,12 @@ pub struct RunAccumulator {
     stragglers_detected: Vec<usize>,
     last_completion: SimTime,
     peak_queue_depth: Vec<usize>,
+    excluded_since: Vec<Option<SimTime>>,
+    excluded_total: Vec<SimDuration>,
+    excluded_now: usize,
+    faults_injected: u64,
+    degraded_completed: u64,
+    degraded_within_slo: u64,
 }
 
 impl RunAccumulator {
@@ -55,6 +61,12 @@ impl RunAccumulator {
             stragglers_detected: Vec::new(),
             last_completion: SimTime::ZERO,
             peak_queue_depth: vec![0; num_stages],
+            excluded_since: vec![None; num_replicas],
+            excluded_total: vec![SimDuration::ZERO; num_replicas],
+            excluded_now: 0,
+            faults_injected: 0,
+            degraded_completed: 0,
+            degraded_within_slo: 0,
         }
     }
 
@@ -86,6 +98,35 @@ impl RunAccumulator {
         self.stragglers_detected.push(rid);
     }
 
+    /// Records one injected fault taking effect.
+    pub fn record_fault(&mut self) {
+        self.faults_injected += 1;
+    }
+
+    /// Marks `rid` excluded from assignment as of `now`; idempotent while
+    /// the replica stays excluded.
+    pub fn record_exclusion(&mut self, rid: usize, now: SimTime) {
+        if self.excluded_since[rid].is_none() {
+            self.excluded_since[rid] = Some(now);
+            self.excluded_now += 1;
+        }
+    }
+
+    /// Marks `rid` back in service as of `now`, closing its exclusion
+    /// interval; a no-op when the replica was not excluded.
+    pub fn record_recovery(&mut self, rid: usize, now: SimTime) {
+        if let Some(since) = self.excluded_since[rid].take() {
+            self.excluded_total[rid] += now.saturating_since(since);
+            self.excluded_now -= 1;
+        }
+    }
+
+    /// True while at least one replica is excluded — the run is in
+    /// degraded mode.
+    pub fn degraded(&self) -> bool {
+        self.excluded_now > 0
+    }
+
     /// Records a completion at `now`; returns whether it met the SLO.
     pub fn complete(&mut self, s: &SimSample, now: SimTime) -> bool {
         let lat = now.saturating_since(s.arrival);
@@ -97,6 +138,12 @@ impl RunAccumulator {
         }
         if s.correct {
             self.correct += 1;
+        }
+        if self.excluded_now > 0 {
+            self.degraded_completed += 1;
+            if in_slo {
+                self.degraded_within_slo += 1;
+            }
         }
         if self.record_exit_events {
             self.exit_events.push(ExitEvent {
@@ -116,8 +163,27 @@ impl RunAccumulator {
 
     /// Converts the accumulated measurements into a [`RunReport`] covering
     /// `duration` of simulated time.
-    pub fn finish(self, duration: SimDuration) -> RunReport {
+    pub fn finish(mut self, duration: SimDuration) -> RunReport {
         let num_stages = self.dispatch_batch_sum.len();
+        // Close exclusion intervals still open at the horizon, then turn
+        // each replica's total excluded time into an availability fraction.
+        let end = SimTime::ZERO + duration;
+        for rid in 0..self.excluded_since.len() {
+            if let Some(since) = self.excluded_since[rid].take() {
+                self.excluded_total[rid] += end.saturating_since(since);
+            }
+        }
+        let replica_availability = self
+            .excluded_total
+            .iter()
+            .map(|&out| {
+                if duration == SimDuration::ZERO {
+                    1.0
+                } else {
+                    (1.0 - out.as_secs_f64() / duration.as_secs_f64()).max(0.0)
+                }
+            })
+            .collect();
         RunReport {
             duration,
             completed: self.completed,
@@ -139,6 +205,10 @@ impl RunAccumulator {
             slo: self.slo,
             stragglers_detected: self.stragglers_detected,
             peak_queue_depth: self.peak_queue_depth,
+            replica_availability,
+            faults_injected: self.faults_injected,
+            degraded_completed: self.degraded_completed,
+            degraded_within_slo: self.degraded_within_slo,
         }
     }
 }
@@ -176,6 +246,36 @@ mod tests {
         assert_eq!(r.peak_queue_depth, vec![0, 3]);
         assert_eq!(r.exit_events.len(), 2);
         assert_eq!(r.latency.samples_ms().len(), 2);
+    }
+
+    #[test]
+    fn exclusion_intervals_become_availability() {
+        let mut acc = RunAccumulator::new(1, 2, SimDuration::from_millis(100), false);
+        acc.record_fault();
+        acc.record_exclusion(0, SimTime::from_secs(1));
+        acc.record_exclusion(0, SimTime::from_secs(2)); // idempotent
+        assert!(acc.degraded());
+        let s = SimSample {
+            id: 9,
+            arrival: SimTime::from_secs(1),
+            layers_executed: 1,
+            exited_at_ramp: None,
+            correct: true,
+            output_tokens: 1,
+        };
+        acc.complete(&s, SimTime::from_secs(1) + SimDuration::from_millis(50));
+        acc.record_recovery(0, SimTime::from_secs(3));
+        acc.record_recovery(0, SimTime::from_secs(4)); // no-op
+        assert!(!acc.degraded());
+        // Replica 1 excluded at t=6 and never recovered: interval closes
+        // at the 8 s horizon.
+        acc.record_exclusion(1, SimTime::from_secs(6));
+        let r = acc.finish(SimDuration::from_secs(8));
+        assert_eq!(r.faults_injected, 1);
+        assert_eq!(r.degraded_completed, 1);
+        assert_eq!(r.degraded_within_slo, 1);
+        assert!((r.replica_availability[0] - 0.75).abs() < 1e-12);
+        assert!((r.replica_availability[1] - 0.75).abs() < 1e-12);
     }
 
     #[test]

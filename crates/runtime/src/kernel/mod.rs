@@ -22,10 +22,12 @@
 //! execution modes account identically.
 
 mod accounting;
+pub mod faults;
 mod observer;
 mod policy;
 
 pub use accounting::RunAccumulator;
+pub use faults::{ExclusionReason, FaultEvent, FaultPlan};
 pub use observer::{EventLog, KernelEvent, NullObserver, RunObserver};
 pub use policy::{
     AdmissionPolicy, AdmitAll, BatchingPolicy, FusionBatching, NoStragglerDetection, ReplicaPerf,
@@ -55,9 +57,19 @@ pub struct KernelPolicies<'p> {
 #[derive(Debug, Clone)]
 enum Ev {
     Arrival(usize),
-    ExecDone { replica: usize },
+    ExecDone { replica: usize, epoch: u32 },
     BatchReady { stage: usize, batch: Batch },
     Flush { stage: usize },
+    Fault(FaultAction),
+}
+
+/// A fault-plan entry materialized on the event queue. `Apply` fires at a
+/// fault's start time; the `Expire*` variants close windowed faults.
+#[derive(Debug, Clone)]
+enum FaultAction {
+    Apply(FaultEvent),
+    ExpireSlowdown { replica: usize, factor: f64 },
+    ExpireStall { stage: usize },
 }
 
 struct Replica {
@@ -68,6 +80,15 @@ struct Replica {
     running: Option<Batch>,
     slowdown: f64,
     excluded: bool,
+    /// True while crashed: unlike a straggler (which may finish queued
+    /// work), a crashed replica executes nothing until recovered.
+    crashed: bool,
+    /// Bumped on crash so a pending `ExecDone` for the lost batch is
+    /// recognized as stale and ignored.
+    epoch: u32,
+    /// Multiplicative factors of the transient slowdowns currently in
+    /// effect (empty almost always; faults only).
+    transient: Vec<f64>,
     batches_done: u32,
     per_sample_secs_sum: f64,
 }
@@ -92,6 +113,9 @@ pub(crate) struct Kernel<'a, 'p> {
     /// of unbounded ones).
     in_flight: usize,
     in_flight_cap: usize,
+    /// Per-stage count of active [`FaultEvent::StageStall`] windows; no
+    /// batch may begin on a stage while its count is positive.
+    stalled: Vec<u32>,
     acc: RunAccumulator,
 }
 
@@ -122,6 +146,9 @@ impl<'a, 'p> Kernel<'a, 'p> {
                     running: None,
                     slowdown,
                     excluded: false,
+                    crashed: false,
+                    epoch: 0,
+                    transient: Vec::new(),
                     batches_done: 0,
                     per_sample_secs_sum: 0.0,
                 });
@@ -131,6 +158,7 @@ impl<'a, 'p> Kernel<'a, 'p> {
         }
         let num_stages = sim.stages.len();
         let num_replicas = replicas.len();
+        sim.cfg.fault_plan.validate(num_replicas, num_stages);
         Kernel {
             sim,
             policies,
@@ -143,6 +171,7 @@ impl<'a, 'p> Kernel<'a, 'p> {
             backlog_cursor: 0,
             in_flight: 0,
             in_flight_cap: (5 * num_replicas * sim.stages[0].target_batch).div_ceil(4),
+            stalled: vec![0; num_stages],
             acc: RunAccumulator::new(
                 num_stages,
                 num_replicas,
@@ -154,6 +183,10 @@ impl<'a, 'p> Kernel<'a, 'p> {
 
     /// Drains the event queue; returns the filled accumulator.
     pub(crate) fn run(mut self) -> RunAccumulator {
+        // Fault actions go on the queue first: at equal timestamps the
+        // stable FIFO tie-break then applies a fault before any arrival
+        // scheduled at the same instant, independent of plan contents.
+        self.schedule_faults();
         if self.sim.cfg.closed_loop {
             let ids = self.stage_replicas[0].clone();
             for r in ids {
@@ -168,12 +201,39 @@ impl<'a, 'p> Kernel<'a, 'p> {
         while let Some(ev) = self.q.pop() {
             match ev.event {
                 Ev::Arrival(i) => self.on_arrival(i),
-                Ev::ExecDone { replica } => self.on_exec_done(replica),
+                Ev::ExecDone { replica, epoch } => self.on_exec_done(replica, epoch),
                 Ev::BatchReady { stage, batch } => self.on_batch_ready(stage, batch),
                 Ev::Flush { stage } => self.on_flush(stage),
+                Ev::Fault(action) => self.on_fault(action),
             }
         }
         self.acc
+    }
+
+    /// Materializes the configured [`FaultPlan`] onto the event queue.
+    fn schedule_faults(&mut self) {
+        for &f in self.sim.cfg.fault_plan.clone().events() {
+            self.q
+                .schedule(f.starts_at(), Ev::Fault(FaultAction::Apply(f)));
+            match f {
+                FaultEvent::TransientSlowdown {
+                    replica,
+                    factor,
+                    until,
+                    ..
+                } => {
+                    self.q.schedule(
+                        until,
+                        Ev::Fault(FaultAction::ExpireSlowdown { replica, factor }),
+                    );
+                }
+                FaultEvent::StageStall { stage, until, .. } => {
+                    self.q
+                        .schedule(until, Ev::Fault(FaultAction::ExpireStall { stage }));
+                }
+                _ => {}
+            }
+        }
     }
 
     fn now(&self) -> SimTime {
@@ -271,13 +331,15 @@ impl<'a, 'p> Kernel<'a, 'p> {
         self.try_begin(rid);
     }
 
-    /// Starts the replica on its next queued batch, if idle.
+    /// Starts the replica on its next queued batch, if idle. Crashed
+    /// replicas and stalled stages start nothing (a straggler, by
+    /// contrast, may still drain work already queued on it).
     fn try_begin(&mut self, rid: usize) {
-        if self.replicas[rid].busy {
+        let stage = self.replicas[rid].stage;
+        if self.replicas[rid].busy || self.replicas[rid].crashed || self.stalled[stage] > 0 {
             return;
         }
         let now = self.now();
-        let stage = self.replicas[rid].stage;
         loop {
             let Some(mut batch) = self.replicas[rid].queue.pop_front() else {
                 // Idle: closed-loop stage-0 replicas self-feed.
@@ -324,7 +386,10 @@ impl<'a, 'p> Kernel<'a, 'p> {
         let stage = self.replicas[rid].stage;
         debug_assert_eq!(stage, 0);
         if self.replicas[rid].excluded {
-            return; // stragglers get no new work (§3.3)
+            return; // stragglers and crashed replicas get no new work (§3.3)
+        }
+        if self.stalled[0] > 0 {
+            return; // stage stalled: nothing dispatches until it lifts
         }
         let target = self.sim.stages[0].target_batch;
         if self.backlog_cursor >= self.backlog.len() {
@@ -363,7 +428,10 @@ impl<'a, 'p> Kernel<'a, 'p> {
     }
 
     fn start_next(&mut self, rid: usize) {
-        if self.replicas[rid].busy {
+        if self.replicas[rid].busy
+            || self.replicas[rid].crashed
+            || self.stalled[self.replicas[rid].stage] > 0
+        {
             return;
         }
         if let Some(batch) = self.replicas[rid].queue.pop_front() {
@@ -374,6 +442,12 @@ impl<'a, 'p> Kernel<'a, 'p> {
     fn start_exec(&mut self, rid: usize, batch: Batch) {
         let stage = self.replicas[rid].stage;
         let spec = &self.sim.stages[stage];
+        // Active transient slowdowns stack multiplicatively on top of the
+        // replica's configured base factor.
+        let mut slowdown = self.replicas[rid].slowdown;
+        for f in &self.replicas[rid].transient {
+            slowdown *= f;
+        }
         let out = execute_batch(
             self.sim.model,
             &self.sim.ctrl,
@@ -383,7 +457,7 @@ impl<'a, 'p> Kernel<'a, 'p> {
             spec.layers.clone(),
             &batch.samples,
             spec.deferred_exits,
-            self.replicas[rid].slowdown,
+            slowdown,
         );
         self.acc.record_busy(rid, out.duration, out.mean_occupancy);
         let n = batch.samples.len().max(1) as f64;
@@ -398,10 +472,19 @@ impl<'a, 'p> Kernel<'a, 'p> {
             },
         );
         self.replicas[rid].running = Some(batch);
-        self.q.schedule_after(out.duration, Ev::ExecDone { replica: rid });
+        self.q.schedule_after(
+            out.duration,
+            Ev::ExecDone {
+                replica: rid,
+                epoch: self.replicas[rid].epoch,
+            },
+        );
     }
 
-    fn on_exec_done(&mut self, rid: usize) {
+    fn on_exec_done(&mut self, rid: usize, epoch: u32) {
+        if epoch != self.replicas[rid].epoch {
+            return; // stale: the replica crashed while this batch ran
+        }
         let now = self.now();
         let stage = self.replicas[rid].stage;
         let stage_end = self.sim.stages[stage].layers.end;
@@ -500,13 +583,123 @@ impl<'a, 'p> Kernel<'a, 'p> {
         if self.policies.straggler.should_exclude(candidate, &peers) {
             self.replicas[rid].excluded = true;
             self.acc.record_straggler(rid);
-            self.observer
-                .on_event(self.now(), &KernelEvent::StragglerExcluded { replica: rid });
+            self.acc.record_exclusion(rid, self.now());
+            self.observer.on_event(
+                self.now(),
+                &KernelEvent::ReplicaExcluded {
+                    replica: rid,
+                    reason: ExclusionReason::Straggler,
+                },
+            );
             // Reassign its queued batches.
             let queued: Vec<Batch> = self.replicas[rid].queue.drain(..).collect();
             for b in queued {
                 self.route(stage, b);
             }
         }
+    }
+
+    /// Applies one scheduled fault action at its due time.
+    fn on_fault(&mut self, action: FaultAction) {
+        let now = self.now();
+        match action {
+            FaultAction::Apply(fault) => {
+                self.acc.record_fault();
+                self.observer
+                    .on_event(now, &KernelEvent::FaultInjected { fault });
+                match fault {
+                    FaultEvent::ReplicaCrash { replica, .. } => self.crash_replica(replica),
+                    FaultEvent::TransientSlowdown {
+                        replica, factor, ..
+                    } => {
+                        self.replicas[replica].transient.push(factor);
+                    }
+                    FaultEvent::StageStall { stage, .. } => {
+                        self.stalled[stage] += 1;
+                    }
+                    FaultEvent::DelayedRecovery { replica, .. } => self.recover_replica(replica),
+                }
+            }
+            FaultAction::ExpireSlowdown { replica, factor } => {
+                // Remove one instance of the factor; overlapping windows
+                // with the same factor expire one at a time.
+                let t = &mut self.replicas[replica].transient;
+                if let Some(pos) = t.iter().position(|&f| f == factor) {
+                    t.remove(pos);
+                }
+            }
+            FaultAction::ExpireStall { stage } => {
+                self.stalled[stage] = self.stalled[stage].saturating_sub(1);
+                if self.stalled[stage] == 0 {
+                    // Dispatch resumes: kick every replica of the stage.
+                    for rid in self.stage_replicas[stage].clone() {
+                        self.try_begin(rid);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Crashes `rid`: it loses its running batch, its queue is re-routed
+    /// to surviving stage peers, and it receives no work until a
+    /// [`FaultEvent::DelayedRecovery`].
+    fn crash_replica(&mut self, rid: usize) {
+        if self.replicas[rid].crashed {
+            return;
+        }
+        let now = self.now();
+        let stage = self.replicas[rid].stage;
+        self.replicas[rid].crashed = true;
+        self.replicas[rid].excluded = true;
+        // Invalidate the pending ExecDone for the batch dying with the
+        // replica; the batch itself is re-executed elsewhere.
+        self.replicas[rid].epoch += 1;
+        self.replicas[rid].busy = false;
+        self.acc.record_exclusion(rid, now);
+        self.observer.on_event(
+            now,
+            &KernelEvent::ReplicaExcluded {
+                replica: rid,
+                reason: ExclusionReason::Crash,
+            },
+        );
+        let mut orphaned: Vec<Batch> = Vec::new();
+        if let Some(b) = self.replicas[rid].running.take() {
+            orphaned.push(b);
+        }
+        orphaned.extend(self.replicas[rid].queue.drain(..));
+        for b in orphaned {
+            self.route(stage, b);
+        }
+    }
+
+    /// Returns `rid` to service with fresh straggler statistics and pulls
+    /// work orphaned on still-crashed stage peers.
+    fn recover_replica(&mut self, rid: usize) {
+        if !self.replicas[rid].excluded {
+            return;
+        }
+        let now = self.now();
+        let stage = self.replicas[rid].stage;
+        self.replicas[rid].crashed = false;
+        self.replicas[rid].excluded = false;
+        self.replicas[rid].batches_done = 0;
+        self.replicas[rid].per_sample_secs_sum = 0.0;
+        self.replicas[rid].transient.clear();
+        self.acc.record_recovery(rid, now);
+        self.observer
+            .on_event(now, &KernelEvent::ReplicaRecovered { replica: rid });
+        // Batches routed while every peer was down sit on a crashed
+        // replica's queue (the route() fallback); reclaim them now.
+        let mut stranded: Vec<Batch> = Vec::new();
+        for peer in self.stage_replicas[stage].clone() {
+            if self.replicas[peer].crashed {
+                stranded.extend(self.replicas[peer].queue.drain(..));
+            }
+        }
+        for b in stranded {
+            self.route(stage, b);
+        }
+        self.try_begin(rid);
     }
 }

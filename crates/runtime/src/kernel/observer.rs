@@ -8,8 +8,10 @@
 
 use e3_simcore::SimTime;
 
+use super::faults::{ExclusionReason, FaultEvent};
+
 /// One state transition inside the serving kernel.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum KernelEvent {
     /// A request entered the system (open-loop arrival, or closed-loop
     /// pull from the backlog).
@@ -81,8 +83,21 @@ pub enum KernelEvent {
         /// Whether it met the SLO.
         within_slo: bool,
     },
-    /// A replica was flagged as a straggler and excluded.
-    StragglerExcluded {
+    /// An injected fault took effect.
+    FaultInjected {
+        /// The fault, as scheduled in the [`super::faults::FaultPlan`].
+        fault: FaultEvent,
+    },
+    /// A replica was removed from the assignment set — by the straggler
+    /// policy or by an injected crash.
+    ReplicaExcluded {
+        /// Global replica id.
+        replica: usize,
+        /// What triggered the exclusion.
+        reason: ExclusionReason,
+    },
+    /// A previously excluded replica rejoined the assignment set.
+    ReplicaRecovered {
         /// Global replica id.
         replica: usize,
     },

@@ -403,6 +403,70 @@ mod tests {
     }
 
     #[test]
+    fn for_stages_boundary_matches_its_own_estimate() {
+        // `for_stages` on a real model: estimates accumulate downstream
+        // cost (stage 0's includes stage 1's), and the admit boundary sits
+        // exactly at `deadline - est_remaining`.
+        use e3_model::{zoo, RampStyle};
+        let model = zoo::deebert();
+        let ctrl = RampController::all_enabled(model.num_ramps(), RampStyle::Independent);
+        let stages = vec![
+            StageSpec {
+                layers: 0..6,
+                target_batch: 4,
+                replicas: vec![e3_hardware::GpuKind::V100; 2],
+                deferred_exits: true,
+            },
+            StageSpec {
+                layers: 6..12,
+                target_batch: 4,
+                replicas: vec![e3_hardware::GpuKind::V100; 2],
+                deferred_exits: true,
+            },
+        ];
+        let slo = SimDuration::from_millis(100);
+        let p = SloSlackAdmission::for_stages(
+            &model,
+            &ctrl,
+            &LatencyModel::new(),
+            &TransferModel::default(),
+            &stages,
+            slo,
+        );
+        assert!(p.est_remaining(0) > p.est_remaining(1), "no downstream cost");
+        assert!(p.est_remaining(1) > SimDuration::ZERO);
+        assert!(p.est_remaining(0) < slo, "SLO infeasible for this test");
+        // Slack exactly equal to the remaining estimate: still admitted;
+        // one nanosecond later: dropped.
+        let s = sample(0);
+        let boundary = SimTime::from_nanos(slo.as_nanos() - p.est_remaining(0).as_nanos());
+        assert!(p.admit(boundary, 0, &s));
+        assert!(!p.admit(SimTime::from_nanos(boundary.as_nanos() + 1), 0, &s));
+    }
+
+    #[test]
+    fn flush_deadline_rearms_from_the_new_oldest_after_drain() {
+        // A stage whose buffer empties between flushes (a full batch
+        // drains it) must disarm its timer, then re-arm from the *next*
+        // push's enqueue time — not the stale pre-drain oldest.
+        let mut b = FusionBatching::new(&[2], SimDuration::from_millis(5), Vec::new());
+        b.push(0, sample(0), SimTime::from_millis(1));
+        b.push(0, sample(0), SimTime::from_millis(2));
+        assert!(b.take_full(0, SimTime::from_millis(2)).is_some());
+        assert!(b.is_empty(0));
+        assert!(b.next_flush_at(0, SimTime::from_millis(2)).is_none());
+
+        b.push(0, sample(0), SimTime::from_millis(40));
+        assert_eq!(
+            b.next_flush_at(0, SimTime::from_millis(40)),
+            Some(SimTime::from_millis(45))
+        );
+        assert!(b.take_due(0, SimTime::from_millis(44)).is_none());
+        let flushed = b.take_due(0, SimTime::from_millis(45)).expect("due flush");
+        assert_eq!(flushed.samples.len(), 1);
+    }
+
+    #[test]
     fn relative_slowdown_needs_warmup_and_peers() {
         let pol = RelativeSlowdown::default();
         let slow = ReplicaPerf {

@@ -57,7 +57,8 @@ pub mod strategy;
 
 pub use engine::{ServingConfig, ServingSim};
 pub use kernel::{
-    AdmissionPolicy, BatchingPolicy, KernelEvent, KernelPolicies, RunObserver, StragglerPolicy,
+    AdmissionPolicy, BatchingPolicy, ExclusionReason, FaultEvent, FaultPlan, KernelEvent,
+    KernelPolicies, RunObserver, StragglerPolicy,
 };
 pub use report::RunReport;
 pub use strategy::Strategy;

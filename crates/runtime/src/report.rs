@@ -45,6 +45,16 @@ pub struct RunReport {
     /// bounded by the engine's backpressure; useful for diagnosing
     /// mis-balanced plans.
     pub peak_queue_depth: Vec<usize>,
+    /// Fraction of the run each replica spent available for assignment
+    /// (1.0 = never excluded; crashes and straggler exclusions count
+    /// against it until recovery).
+    pub replica_availability: Vec<f64>,
+    /// Injected faults that took effect during the run.
+    pub faults_injected: u64,
+    /// Completions recorded while at least one replica was excluded.
+    pub degraded_completed: u64,
+    /// SLO-compliant completions recorded while degraded.
+    pub degraded_within_slo: u64,
 }
 
 impl RunReport {
@@ -110,6 +120,34 @@ impl RunReport {
             / self.replica_util.len() as f64
     }
 
+    /// Mean availability across replicas (1.0 when no replica was ever
+    /// excluded).
+    pub fn mean_availability(&self) -> f64 {
+        if self.replica_availability.is_empty() {
+            return 1.0;
+        }
+        self.replica_availability.iter().sum::<f64>() / self.replica_availability.len() as f64
+    }
+
+    /// Goodput measured only over completions that happened while the
+    /// cluster was degraded (at least one replica excluded). Zero when
+    /// the run never degraded.
+    pub fn degraded_goodput(&self) -> f64 {
+        if self.duration.is_zero() {
+            return 0.0;
+        }
+        self.degraded_within_slo as f64 / self.duration.as_secs_f64()
+    }
+
+    /// SLO violation rate among degraded-mode completions.
+    pub fn degraded_violation_rate(&self) -> f64 {
+        if self.degraded_completed == 0 {
+            return 0.0;
+        }
+        (self.degraded_completed - self.degraded_within_slo) as f64
+            / self.degraded_completed as f64
+    }
+
     /// Mean executed layers over completed requests.
     pub fn mean_depth(&self) -> f64 {
         if self.exit_events.is_empty() {
@@ -155,6 +193,10 @@ mod tests {
             slo: SimDuration::from_millis(20),
             stragglers_detected: vec![],
             peak_queue_depth: vec![1],
+            replica_availability: vec![1.0],
+            faults_injected: 0,
+            degraded_completed: 0,
+            degraded_within_slo: 0,
         }
     }
 
@@ -166,6 +208,20 @@ mod tests {
         assert_eq!(r.accuracy(), 1.0);
         assert_eq!(r.drop_rate(), 0.5);
         assert_eq!(r.mean_depth(), 8.0);
+        assert_eq!(r.mean_availability(), 1.0);
+        assert_eq!(r.degraded_goodput(), 0.0);
+        assert_eq!(r.degraded_violation_rate(), 0.0);
+    }
+
+    #[test]
+    fn degraded_accounting() {
+        let mut r = report();
+        r.replica_availability = vec![1.0, 0.5];
+        r.degraded_completed = 4;
+        r.degraded_within_slo = 3;
+        assert_eq!(r.mean_availability(), 0.75);
+        assert_eq!(r.degraded_goodput(), 1.5);
+        assert_eq!(r.degraded_violation_rate(), 0.25);
     }
 
     #[test]
@@ -183,6 +239,10 @@ mod tests {
             slo: SimDuration::from_millis(100),
             stragglers_detected: vec![],
             peak_queue_depth: vec![],
+            replica_availability: vec![],
+            faults_injected: 0,
+            degraded_completed: 0,
+            degraded_within_slo: 0,
         };
         assert_eq!(r.goodput(), 0.0);
         assert_eq!(r.accuracy(), 0.0);

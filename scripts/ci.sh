@@ -6,3 +6,10 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy -- -D warnings
+
+# Smoke pass: the fault-degradation sweep and one paper figure must run
+# and produce non-empty tables.
+./target/release/fig_degradation | tee /tmp/fig_degradation.out | grep -q "RelativeSlowdown"
+test -s /tmp/fig_degradation.out
+./target/release/fig07_nlp_goodput | tee /tmp/fig07.out | grep -q "goodput vs batch size"
+test -s /tmp/fig07.out

@@ -4,7 +4,8 @@
 use e3::{E3Config, E3System};
 use e3_hardware::ClusterSpec;
 use e3_model::zoo;
-use e3_simcore::stats::mape;
+use e3_runtime::FaultPlan;
+use e3_simcore::{stats::mape, SimTime};
 use e3_workload::DatasetModel;
 
 fn system(seed: u64) -> E3System {
@@ -89,6 +90,56 @@ fn easy_mixes_produce_more_splits_than_hard() {
         easy_splits >= hard_splits,
         "easy {easy_splits} hard {hard_splits}"
     );
+}
+
+#[test]
+fn control_loop_replans_around_permanent_crashes() {
+    // Two replicas crash for good in window 2 (after warm-up settles a
+    // multi-split plan). The faulted window runs degraded; the next
+    // re-optimization plans against the shrunken cluster and the
+    // remaining windows recover on 14 GPUs, fault-free.
+    let phases = vec![DatasetModel::sst2(); 5];
+    let faults = vec![
+        FaultPlan::new(),
+        FaultPlan::new(),
+        FaultPlan::new()
+            .crash(0, SimTime::from_millis(40))
+            .crash(1, SimTime::from_millis(60)),
+    ];
+    let report = system(6).run_windows_with_faults(&phases, &faults);
+
+    // The planner saw 16 GPUs through the faulted window, 14 after.
+    assert_eq!(report.windows[2].cluster_gpus, 16);
+    assert_eq!(report.windows[3].cluster_gpus, 14);
+    assert_eq!(report.windows[4].cluster_gpus, 14);
+
+    // The faulted window is visibly degraded...
+    let faulted = &report.windows[2].run;
+    assert_eq!(faulted.faults_injected, 2);
+    assert!(faulted.mean_availability() < 1.0);
+    assert!(faulted.degraded_completed > 0);
+    // ...and later windows are clean again on the smaller cluster.
+    let settled = &report.windows[4].run;
+    assert_eq!(settled.faults_injected, 0);
+    assert!(settled.replica_availability.iter().all(|&a| a == 1.0));
+    assert!(
+        settled.goodput() > faulted.goodput(),
+        "replanned {} vs degraded {}",
+        settled.goodput(),
+        faulted.goodput()
+    );
+}
+
+#[test]
+fn run_windows_is_run_windows_with_no_faults() {
+    let phases = vec![DatasetModel::sst2(); 2];
+    let plain = system(7).run_windows(&phases);
+    let empty = system(7).run_windows_with_faults(&phases, &[]);
+    assert_eq!(plain.windows.len(), empty.windows.len());
+    for (a, b) in plain.windows.iter().zip(&empty.windows) {
+        assert_eq!(a.run.goodput().to_bits(), b.run.goodput().to_bits());
+        assert_eq!(a.cluster_gpus, b.cluster_gpus);
+    }
 }
 
 #[test]

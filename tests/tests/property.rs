@@ -9,8 +9,103 @@ use e3_model::{zoo, BatchProfile, EeModel, LayerSpec, RampController, RampSpec, 
 use e3_model::{ExitPolicy, InferenceSim};
 use e3_optimizer::{optimize_heterogeneous, optimize_homogeneous, OptimizerConfig};
 use e3_profiler::{ArimaModel, BatchProfileEstimator, EstimatorConfig};
+use e3_runtime::kernel::{AdmitAll, EventLog, NoStragglerDetection, StaticBatching};
+use e3_runtime::strategy::StageSpec;
+use e3_runtime::{
+    FaultPlan, KernelEvent, KernelPolicies, RunReport, ServingConfig, ServingSim,
+};
+use e3_simcore::{SimDuration, SimTime};
+use e3_workload::{ArrivalProcess, DatasetModel, WorkloadGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Decodes raw entropy words into a valid [`FaultPlan`] for a 4-replica,
+/// 2-stage deployment: 2 bits of kind, then replica / onset / duration /
+/// factor bit-fields, so any `u64` yields a well-formed fault.
+fn decoded_fault_plan(words: &[u64]) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for &x in words {
+        let rid = ((x >> 2) % 4) as usize;
+        let from = (x >> 8) & 0x3ff;
+        let until = from + 1 + ((x >> 20) & 0xff);
+        plan = match x % 4 {
+            0 => plan.crash(rid, SimTime::from_millis(from)),
+            1 => {
+                let factor = 1.25 + ((x >> 32) & 0x3f) as f64 / 8.0;
+                plan.slowdown(
+                    rid,
+                    factor,
+                    SimTime::from_millis(from),
+                    SimTime::from_millis(until),
+                )
+            }
+            2 => plan.stall(
+                rid % 2,
+                SimTime::from_millis(from),
+                SimTime::from_millis(until),
+            ),
+            _ => plan.recover(rid, SimTime::from_millis(from)),
+        };
+    }
+    plan
+}
+
+/// Runs DeeBERT on a hand-built 2-stage, 4-replica pipeline under `plan`,
+/// with either the default fusion batching or strict static batching.
+fn run_two_stage_faulted(
+    plan: &FaultPlan,
+    static_batching: bool,
+    n: usize,
+    seed: u64,
+) -> (RunReport, EventLog) {
+    let model = zoo::deebert();
+    let stages = vec![
+        StageSpec {
+            layers: 0..6,
+            target_batch: 4,
+            replicas: vec![GpuKind::V100; 2],
+            deferred_exits: true,
+        },
+        StageSpec {
+            layers: 6..12,
+            target_batch: 4,
+            replicas: vec![GpuKind::V100; 2],
+            deferred_exits: true,
+        },
+    ];
+    let sim = ServingSim::new(
+        &model,
+        zoo::default_policy("DeeBERT"),
+        RampController::all_enabled(model.num_ramps(), e3_model::RampStyle::Independent),
+        InferenceSim::new(),
+        stages,
+        LatencyModel::new(),
+        TransferModel::default(),
+        ServingConfig {
+            fault_plan: plan.clone(),
+            ..Default::default()
+        },
+    );
+    let g = WorkloadGenerator::new(
+        ArrivalProcess::ClosedLoop { concurrency: 64 },
+        DatasetModel::sst2(),
+        SimDuration::from_secs(60),
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let reqs = g.generate(n, &mut rng);
+    let mut log = EventLog::new();
+    let r = if static_batching {
+        let policies = KernelPolicies {
+            admission: Box::new(AdmitAll),
+            batching: Box::new(StaticBatching::new(&[4, 4])),
+            straggler: Box::new(NoStragglerDetection),
+        };
+        sim.run_with(&reqs, seed, policies, &mut log)
+    } else {
+        sim.run_observed(&reqs, seed, &mut log)
+    };
+    (r, log)
+}
 
 /// Strategy: a valid survival profile for `layers` layers.
 fn survival_profile(layers: usize) -> impl Strategy<Value = BatchProfile> {
@@ -155,6 +250,55 @@ proptest! {
             }).sum::<f64>() / n as f64
         };
         prop_assert!(depth(0.5) <= depth(0.3) + 0.75);
+    }
+
+    #[test]
+    fn kernel_conserves_samples_under_arbitrary_faults(
+        words in proptest::collection::vec(0u64..u64::MAX, 0..8),
+        seed in 0u64..1000,
+    ) {
+        // Satellite invariant: under any generated FaultPlan, against both
+        // batching policies, every arrival is exactly one of completed /
+        // dropped / in-flight-at-horizon, and the clock never rewinds.
+        let n = 400usize;
+        let plan = decoded_fault_plan(&words);
+        for static_batching in [false, true] {
+            let (r, log) = run_two_stage_faulted(&plan, static_batching, n, seed);
+            // The log and the report agree on the terminal counts.
+            let arrivals = log.count(|e| matches!(e, KernelEvent::Arrival { .. })) as u64;
+            let completions =
+                log.count(|e| matches!(e, KernelEvent::Completion { .. })) as u64;
+            let drops = log.count(|e| matches!(e, KernelEvent::Dropped { .. })) as u64;
+            prop_assert_eq!(completions, r.completed);
+            prop_assert_eq!(drops, r.dropped);
+            // Conservation: no sample is invented, every terminal had an
+            // arrival; the remainder is in flight (stranded on a crashed
+            // queue or waiting in a never-flushed static buffer).
+            prop_assert!(arrivals <= n as u64);
+            prop_assert!(completions + drops <= arrivals);
+            let mut arrived = vec![0u32; n];
+            let mut terminated = vec![0u32; n];
+            for (_, e) in &log.events {
+                match e {
+                    KernelEvent::Arrival { sample } => arrived[*sample as usize] += 1,
+                    KernelEvent::Dropped { sample, .. }
+                    | KernelEvent::Completion { sample, .. } => {
+                        terminated[*sample as usize] += 1;
+                    }
+                    _ => {}
+                }
+            }
+            for i in 0..n {
+                prop_assert!(arrived[i] <= 1, "sample {} arrived {} times", i, arrived[i]);
+                prop_assert!(
+                    terminated[i] <= arrived[i],
+                    "sample {} terminated without arriving", i
+                );
+            }
+            // Clocks never go backwards, faults included.
+            prop_assert!(log.events.windows(2).all(|w| w[0].0 <= w[1].0));
+            prop_assert_eq!(r.faults_injected, plan.len() as u64);
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! SLO handling, admission drops, and open-loop behaviour across crates.
 
-use e3::harness::{run_closed_loop, run_open_loop, HarnessOpts, ModelFamily, SystemKind};
+use e3::harness::{run_open_loop, HarnessOpts, ModelFamily, SystemKind};
 use e3_hardware::{ClusterSpec, GpuKind};
 use e3_simcore::SimDuration;
 use e3_workload::{ArrivalProcess, BurstyTraceConfig, DatasetModel, WorkloadGenerator};
