@@ -56,7 +56,8 @@ fn bench_optimizer(c: &mut Criterion) {
     // Scaling in GPU count (the other axis of fig. 20).
     let dee = zoo::deebert();
     let profile = profile_for(&dee);
-    let ctrl = RampController::all_enabled(dee.num_ramps(), zoo::default_policy("DeeBERT").ramp_style());
+    let ctrl =
+        RampController::all_enabled(dee.num_ramps(), zoo::default_policy("DeeBERT").ramp_style());
     let mut group = c.benchmark_group("optimizer-gpu-scaling");
     for gpus in [4usize, 16, 46] {
         let cluster = ClusterSpec::homogeneous(GpuKind::V100, gpus, 2);

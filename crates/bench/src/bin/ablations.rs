@@ -63,11 +63,25 @@ fn main() {
             ..Default::default()
         };
         let on = run_closed_loop(
-            SystemKind::E3, &family, &cluster, 8, &ds, RUN_N, &on_opts, seed,
+            SystemKind::E3,
+            &family,
+            &cluster,
+            8,
+            &ds,
+            RUN_N,
+            &on_opts,
+            seed,
         )
         .goodput();
         let off = run_closed_loop(
-            SystemKind::E3, &family, &cluster, 8, &ds, RUN_N, &off_opts, seed,
+            SystemKind::E3,
+            &family,
+            &cluster,
+            8,
+            &ds,
+            RUN_N,
+            &off_opts,
+            seed,
         )
         .goodput();
         let plan_on = build_e3_plan(&family, &cluster, 8, &ds, &on_opts, seed);

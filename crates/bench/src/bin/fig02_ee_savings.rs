@@ -65,7 +65,10 @@ fn main() {
         ];
         let (bert_c, bert_l, _) = measure(&models[0], &dataset, SEED);
         let mut t = Table::new(
-            format!("{} (paper: BERT-EE ~57% latency, <2% acc. loss)", dataset.name()),
+            format!(
+                "{} (paper: BERT-EE ~57% latency, <2% acc. loss)",
+                dataset.name()
+            ),
             &["accuracy %", "compute %", "latency %"],
         );
         for m in &models {

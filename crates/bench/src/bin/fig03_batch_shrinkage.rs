@@ -23,8 +23,7 @@ fn main() {
 
     for dataset in [DatasetModel::qnli(), DatasetModel::sst2()] {
         let infer = InferenceSim::with_accuracy(dataset.base_accuracy);
-        let mut rng =
-            StdRng::seed_from_u64(SeedSplitter::new(SEED).derive(dataset.name()));
+        let mut rng = StdRng::seed_from_u64(SeedSplitter::new(SEED).derive(dataset.name()));
         let hs = dataset.sample_hardnesses(8000, &mut rng);
         let profile = infer.exit_profile(&model, &policy, &ctrl, &hs, &mut rng);
         let batches: Vec<f64> = (0..12).map(|k| profile.batch_at(k, 8.0)).collect();

@@ -16,8 +16,14 @@ fn main() {
         &DatasetModel::imagenet(),
         &HarnessOpts::default(),
         &[
-            ("ResNet50", &[2888.0, 5654.0, 10998.0, 15970.0, 17521.0, 19315.0]),
-            ("B-ResNet50", &[5096.0, 8556.0, 14066.0, 22476.0, 18458.0, 19897.0]),
+            (
+                "ResNet50",
+                &[2888.0, 5654.0, 10998.0, 15970.0, 17521.0, 19315.0],
+            ),
+            (
+                "B-ResNet50",
+                &[5096.0, 8556.0, 14066.0, 22476.0, 18458.0, 19897.0],
+            ),
             ("E3", &[4905.0, 9712.0, 16153.0, 26606.0, 28378.0, 33627.0]),
         ],
     );

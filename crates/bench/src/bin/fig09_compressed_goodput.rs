@@ -20,7 +20,10 @@ fn main() {
         &HarnessOpts::default(),
         &[
             ("DistilBERT", &[405.0, 561.0, 708.0, 791.0, 867.0, 917.0]),
-            ("DistilBERT-EE", &[446.0, 651.0, 813.0, 889.0, 1111.0, 918.0]),
+            (
+                "DistilBERT-EE",
+                &[446.0, 651.0, 813.0, 889.0, 1111.0, 918.0],
+            ),
             ("E3", &[481.0, 733.0, 1021.0, 1243.0, 1426.0, 1530.0]),
         ],
     );

@@ -23,9 +23,7 @@ fn main() {
     let infer = InferenceSim::with_accuracy(ds.base_accuracy);
     let lm = LatencyModel::new();
     let boundary = pick_boundary(&ee, &policy, &ctrl, &infer, &ds, 0.5, SEED);
-    println!(
-        "profiler: ~50% of inputs exit by layer {boundary} of 32 (paper observes layer 25)\n"
-    );
+    println!("profiler: ~50% of inputs exit by layer {boundary} of 32 (paper observes layer 25)\n");
     // §5.1.3: under E3 exits are checked only at the end of splits.
     let mut e3_ctrl = ctrl.clone();
     if let Some(ri) = ee.ramp_after(boundary - 1) {
@@ -38,7 +36,18 @@ fn main() {
     let mut t = Table::new("goodput vs batch size", &col_refs);
     let run = |model: &e3_model::EeModel, c: &RampController, strat: AutoRegStrategy, b: usize| {
         simulate_autoreg(
-            model, &policy, c, &infer, &ds, strat, GpuKind::A6000, 4, b, 800, &lm, SEED,
+            model,
+            &policy,
+            c,
+            &infer,
+            &ds,
+            strat,
+            GpuKind::A6000,
+            4,
+            b,
+            800,
+            &lm,
+            SEED,
         )
         .goodput
     };
@@ -57,8 +66,14 @@ fn main() {
     t.row("Llama3.1-8b", &van_row);
     t.row("Llama3.1-8b-EE", &ee_row);
     t.row("E3", &e3_row);
-    t.row("paper:Llama3.1-8b", &[102.0, 190.0, 328.0, 608.0, 748.0, 852.0]);
-    t.row("paper:Llama3.1-8b-EE", &[42.0, 68.0, 123.0, 235.0, 397.0, 575.0]);
+    t.row(
+        "paper:Llama3.1-8b",
+        &[102.0, 190.0, 328.0, 608.0, 748.0, 852.0],
+    );
+    t.row(
+        "paper:Llama3.1-8b-EE",
+        &[42.0, 68.0, 123.0, 235.0, 397.0, 575.0],
+    );
     t.row("paper:E3", &[151.0, 274.0, 468.0, 841.0, 1051.0, 1199.0]);
     t.print();
     let best = e3_row

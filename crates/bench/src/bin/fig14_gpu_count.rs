@@ -41,8 +41,16 @@ fn main() {
         .iter()
         .map(|&b| {
             min_gpus_for_goodput(
-                &family.stock, &stock_ctrl, &flat, GpuKind::V100, MAX_GPUS, b as f64, TARGET,
-                &tm, &lm, &cfg,
+                &family.stock,
+                &stock_ctrl,
+                &flat,
+                GpuKind::V100,
+                MAX_GPUS,
+                b as f64,
+                TARGET,
+                &tm,
+                &lm,
+                &cfg,
             )
             .map_or(f64::NAN, |(n, _)| n as f64)
         })
@@ -78,8 +86,16 @@ fn main() {
         .iter()
         .map(|&b| {
             min_gpus_for_goodput(
-                &family.ee, &ee_ctrl, &profile, GpuKind::V100, MAX_GPUS, b as f64, TARGET,
-                &tm, &lm, &cfg,
+                &family.ee,
+                &ee_ctrl,
+                &profile,
+                GpuKind::V100,
+                MAX_GPUS,
+                b as f64,
+                TARGET,
+                &tm,
+                &lm,
+                &cfg,
             )
             .map_or(f64::NAN, |(n, _)| n as f64)
         })

@@ -49,10 +49,20 @@ fn main() {
         .iter()
         .map(|&b| {
             min_gpus_for_goodput(
-                &family.stock, &stock_ctrl, &flat, GpuKind::V100, 64, b as f64, TARGET, &tm,
-                &lm, &cfg,
+                &family.stock,
+                &stock_ctrl,
+                &flat,
+                GpuKind::V100,
+                64,
+                b as f64,
+                TARGET,
+                &tm,
+                &lm,
+                &cfg,
             )
-            .map_or(f64::NAN, |(n, _)| n as f64 * GpuKind::V100.cost_per_sec() * 60.0)
+            .map_or(f64::NAN, |(n, _)| {
+                n as f64 * GpuKind::V100.cost_per_sec() * 60.0
+            })
         })
         .collect();
     let dee: Vec<f64> = batches
@@ -84,7 +94,15 @@ fn main() {
         .iter()
         .map(|&b| {
             min_cost_for_goodput(
-                &family.ee, &ee_ctrl, &profile, &pool(), b as f64, TARGET, &tm, &lm, &cfg,
+                &family.ee,
+                &ee_ctrl,
+                &profile,
+                &pool(),
+                b as f64,
+                TARGET,
+                &tm,
+                &lm,
+                &cfg,
             )
             .map_or(f64::NAN, |p| p.cost_per_sec() * 60.0)
         })

@@ -14,8 +14,14 @@ use e3_workload::DatasetModel;
 fn main() {
     println!("Figure 17: latency distribution (ms), 50E/50H mix, batch 8\n");
     for (cluster_name, cluster) in [
-        ("homogeneous (16 V100)", ClusterSpec::paper_homogeneous_v100()),
-        ("heterogeneous (6 V100 + 8 P100 + 15 K80)", ClusterSpec::paper_heterogeneous()),
+        (
+            "homogeneous (16 V100)",
+            ClusterSpec::paper_homogeneous_v100(),
+        ),
+        (
+            "heterogeneous (6 V100 + 8 P100 + 15 K80)",
+            ClusterSpec::paper_heterogeneous(),
+        ),
     ] {
         let exp = Experiment::new(ModelFamily::nlp(), cluster, DatasetModel::with_mix(0.5));
         let mut t = Table::new(

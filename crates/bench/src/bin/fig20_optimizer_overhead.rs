@@ -46,8 +46,7 @@ fn main() {
             let reps = 5;
             let start = Instant::now();
             for _ in 0..reps {
-                let plan =
-                    plan_for_cluster(&model, &ctrl, &profile, cluster, 8.0, &tm, &lm, &cfg);
+                let plan = plan_for_cluster(&model, &ctrl, &profile, cluster, 8.0, &tm, &lm, &cfg);
                 std::hint::black_box(plan);
             }
             times.push(start.elapsed().as_secs_f64() * 1000.0 / f64::from(reps));

@@ -46,5 +46,7 @@ fn main() {
         let mape = e3_simcore::stats::mape(&predicted, &actual);
         println!("  mean absolute percentage error: {:.1}%\n", mape * 100.0);
     }
-    takeaway("after the two-window warm-up, predictions track reality closely (paper: close match)");
+    takeaway(
+        "after the two-window warm-up, predictions track reality closely (paper: close match)",
+    );
 }

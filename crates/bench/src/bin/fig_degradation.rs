@@ -1,127 +1,8 @@
 //! Degradation study — serving under injected faults (§3.3's robustness
 //! claim, demonstrated): goodput/SLO-violation curves as replicas crash,
 //! and `RelativeSlowdown` vs `NoStragglerDetection` under injected
-//! slowdowns.
-
-use e3::harness::{run_open_loop, HarnessOpts, ModelFamily, SystemKind};
-use e3_bench::exp::Experiment;
-use e3_bench::{takeaway, Table, SEED};
-use e3_hardware::{ClusterSpec, GpuKind};
-use e3_runtime::FaultPlan;
-use e3_simcore::{SimDuration, SimTime};
-use e3_workload::{ArrivalProcess, WorkloadGenerator};
-
-fn experiment(opts: HarnessOpts) -> Experiment {
-    Experiment::new(
-        ModelFamily::nlp(),
-        ClusterSpec::homogeneous(GpuKind::V100, 8, 2),
-        e3_workload::DatasetModel::sst2(),
-    )
-    .with_opts(opts)
-}
-
-/// Staggered unrecovered crashes: replica `i` dies at 300 + 100·i ms.
-fn crash_plan(crashes: usize) -> FaultPlan {
-    let mut plan = FaultPlan::new();
-    for i in 0..crashes {
-        plan = plan.crash(i, SimTime::from_millis(300 + 100 * i as u64));
-    }
-    plan
-}
+//! slowdowns. Output is locked byte-for-byte by `tests/golden.rs`.
 
 fn main() {
-    println!("Degradation: goodput under injected faults, 8 x V100, DeeBERT workload\n");
-    let n = 10_000;
-
-    // Sweep 1: replica crashes (no recovery). Surviving replicas absorb
-    // the queue; goodput degrades roughly with lost capacity, not to zero.
-    let crash_counts = [0usize, 1, 2, 4];
-    let cols: Vec<String> = crash_counts.iter().map(|c| format!("{c} crash")).collect();
-    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-    let mut t = Table::new("crash sweep (NaiveEe, b=8)", &col_refs);
-    let mut goodputs = Vec::new();
-    let mut avail = Vec::new();
-    let mut violations = Vec::new();
-    for &c in &crash_counts {
-        let exp = experiment(HarnessOpts {
-            fault_plan: crash_plan(c),
-            ..Default::default()
-        });
-        let mut e = exp;
-        e.n = n;
-        let r = e.run(SystemKind::NaiveEe, 8);
-        goodputs.push(r.goodput());
-        avail.push(r.mean_availability() * 100.0);
-        violations.push((1.0 - r.within_slo as f64 / r.completed.max(1) as f64) * 100.0);
-    }
-    t.row("goodput (samples/s)", &goodputs);
-    t.row_fmt("mean availability (%)", &avail, 1);
-    t.row_fmt("SLO violations (%)", &violations, 1);
-    t.print();
-    takeaway(&format!(
-        "4 of 8 replicas lost keeps {:.0}% of fault-free goodput: survivors absorb the queue",
-        100.0 * goodputs[3] / goodputs[0]
-    ));
-
-    // Sweep 2: one replica slowed for the rest of the run — straggler
-    // detection vs none, under open-loop arrivals at ~70% of fault-free
-    // capacity. Routing is shortest-queue with lowest-id tie-break, so
-    // without detection a steady trickle of batches still lands on the
-    // straggler and blows the SLO; RelativeSlowdown (threshold 1.8x)
-    // excludes it after warmup and the seven survivors have headroom.
-    let factors = [1.5f64, 2.5, 4.0, 8.0];
-    let cols: Vec<String> = factors.iter().map(|f| format!("{f}x")).collect();
-    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-    let mut t = Table::new(
-        "slowdown sweep (NaiveEe, b=8, open loop 2000 req/s, replica 0 slowed)",
-        &col_refs,
-    );
-    let family = ModelFamily::nlp();
-    let cluster = ClusterSpec::homogeneous(GpuKind::V100, 8, 2);
-    let generator = WorkloadGenerator::new(
-        ArrivalProcess::Poisson { rate: 2000.0 },
-        e3_workload::DatasetModel::sst2(),
-        SimDuration::from_secs(5),
-    );
-    let mut rows: Vec<(&str, bool, Vec<f64>)> = vec![
-        ("NoStragglerDetection", false, Vec::new()),
-        ("RelativeSlowdown", true, Vec::new()),
-    ];
-    for (_, detect, gs) in rows.iter_mut() {
-        for &f in &factors {
-            let plan = FaultPlan::new().slowdown(
-                0,
-                f,
-                SimTime::from_millis(200),
-                SimTime::from_secs(3600),
-            );
-            let opts = HarnessOpts {
-                fault_plan: plan,
-                detect_stragglers: *detect,
-                ..Default::default()
-            };
-            let r = run_open_loop(
-                SystemKind::NaiveEe,
-                &family,
-                &cluster,
-                8,
-                &generator,
-                &e3_workload::DatasetModel::sst2(),
-                &opts,
-                SEED,
-            );
-            gs.push(r.goodput());
-        }
-    }
-    for (name, _, gs) in &rows {
-        t.row(*name, gs);
-    }
-    t.print();
-    let no = &rows[0].2;
-    let rel = &rows[1].2;
-    takeaway(&format!(
-        "above the 1.8x exclusion threshold RelativeSlowdown wins: {:.2}x goodput at 4x, {:.2}x at 8x (sub-threshold 1.5x is a wash by design)",
-        rel[2] / no[2],
-        rel[3] / no[3]
-    ));
+    print!("{}", e3_bench::figs::fig_degradation_report());
 }

@@ -1,0 +1,7 @@
+//! Reconfiguration study — the guarded control loop (drift watchdog,
+//! probe/canary plan transitions, deterministic rollback) vs naive
+//! instant re-planning, swept over misprediction-burst severity.
+
+fn main() {
+    print!("{}", e3_bench::figs::fig_reconfig_report());
+}

@@ -42,14 +42,30 @@ fn main() {
     let mut worst = f64::INFINITY;
     for name in ["DeeBERT", "FastBERT", "BERxiT", "ELBERT", "PABEE"] {
         let fam = family(name);
-        let stock =
-            run_closed_loop(SystemKind::Vanilla, &fam, &cluster, 8, &ds, RUN_N, &opts, SEED)
-                .goodput();
-        let naive =
-            run_closed_loop(SystemKind::NaiveEe, &fam, &cluster, 8, &ds, RUN_N, &opts, SEED)
-                .goodput();
-        let e3 = run_closed_loop(SystemKind::E3, &fam, &cluster, 8, &ds, RUN_N, &opts, SEED)
-            .goodput();
+        let stock = run_closed_loop(
+            SystemKind::Vanilla,
+            &fam,
+            &cluster,
+            8,
+            &ds,
+            RUN_N,
+            &opts,
+            SEED,
+        )
+        .goodput();
+        let naive = run_closed_loop(
+            SystemKind::NaiveEe,
+            &fam,
+            &cluster,
+            8,
+            &ds,
+            RUN_N,
+            &opts,
+            SEED,
+        )
+        .goodput();
+        let e3 =
+            run_closed_loop(SystemKind::E3, &fam, &cluster, 8, &ds, RUN_N, &opts, SEED).goodput();
         worst = worst.min(e3 / naive);
         t.row_fmt(name, &[stock, naive, e3, e3 / naive], 2);
     }

@@ -58,10 +58,7 @@ impl Table {
         assert_eq!(values.len(), self.columns.len(), "row width mismatch");
         self.rows.push((
             label.into(),
-            values
-                .iter()
-                .map(|v| format!("{v:.decimals$}"))
-                .collect(),
+            values.iter().map(|v| format!("{v:.decimals$}")).collect(),
         ));
         self
     }

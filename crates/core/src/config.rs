@@ -3,6 +3,8 @@
 use e3_profiler::EstimatorConfig;
 use e3_simcore::SimDuration;
 
+use crate::reconfig::ReconfigConfig;
+
 /// Configuration of a full E3 deployment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct E3Config {
@@ -30,6 +32,13 @@ pub struct E3Config {
     pub estimator: EstimatorConfig,
     /// Requests processed per window in closed-loop mode.
     pub requests_per_window: usize,
+    /// Guarded reconfiguration: drift watchdog, probe/canary plan
+    /// transitions with automatic rollback. Disabled by default — the
+    /// naive instant-swap loop is preserved bit-for-bit.
+    pub reconfig: ReconfigConfig,
+    /// Bound on queued batches per replica in the serving runtime;
+    /// routing sheds batches past it. `None` keeps queues unbounded.
+    pub queue_cap: Option<usize>,
 }
 
 impl Default for E3Config {
@@ -45,6 +54,8 @@ impl Default for E3Config {
             max_splits: 4,
             estimator: EstimatorConfig::default(),
             requests_per_window: 10_000,
+            reconfig: ReconfigConfig::default(),
+            queue_cap: None,
         }
     }
 }
@@ -59,6 +70,11 @@ mod tests {
         assert_eq!(c.slo, SimDuration::from_millis(100));
         assert!((c.slack_frac - 0.2).abs() < 1e-12);
         assert!(c.pipelining);
-        assert!(!c.use_wrapper, "paper's evaluation runs without the wrapper");
+        assert!(
+            !c.use_wrapper,
+            "paper's evaluation runs without the wrapper"
+        );
+        assert!(!c.reconfig.guarded, "guarded reconfiguration is opt-in");
+        assert_eq!(c.queue_cap, None, "queues unbounded unless asked");
     }
 }

@@ -31,6 +31,7 @@ pub struct DeploymentBuilder<'a> {
     horizon: Option<SimDuration>,
     fault_plan: FaultPlan,
     detect_stragglers: bool,
+    queue_cap: Option<usize>,
 }
 
 impl<'a> DeploymentBuilder<'a> {
@@ -55,6 +56,7 @@ impl<'a> DeploymentBuilder<'a> {
             horizon: None,
             fault_plan: FaultPlan::new(),
             detect_stragglers: false,
+            queue_cap: None,
         }
     }
 
@@ -108,6 +110,12 @@ impl<'a> DeploymentBuilder<'a> {
         self
     }
 
+    /// Bounds queued batches per replica; routing sheds past the cap.
+    pub fn with_queue_cap(mut self, cap: Option<usize>) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+
     /// Realizes the strategy and assembles the simulator.
     pub fn build(self) -> ServingSim<'a> {
         let stages = self.strategy.realize(self.model, self.cluster);
@@ -126,6 +134,7 @@ impl<'a> DeploymentBuilder<'a> {
                 fusion_waits: fusion_waits(self.strategy, self.slo),
                 fault_plan: self.fault_plan,
                 detect_stragglers: self.detect_stragglers,
+                queue_cap: self.queue_cap,
                 ..Default::default()
             },
         )

@@ -211,11 +211,9 @@ pub fn run_closed_loop(
         // Model parallelism OFF (§5.8.7): splits run serially on the same
         // data-parallel GPUs with a barrier at every boundary.
         let plan = build_e3_plan(family, cluster, batch, dataset, opts, seed);
-        let ctrl =
-            RampController::all_enabled(model.num_ramps(), family.policy.ramp_style());
+        let ctrl = RampController::all_enabled(model.num_ramps(), family.policy.ramp_style());
         let gpus: Vec<_> = cluster.gpus().iter().map(|g| g.kind).collect();
-        let reqs =
-            closed_loop_requests(dataset, n, SeedSplitter::new(seed).derive("requests"));
+        let reqs = closed_loop_requests(dataset, n, SeedSplitter::new(seed).derive("requests"));
         return e3_runtime::serial::run_serial_barrier(
             model,
             family.policy,
@@ -233,9 +231,9 @@ pub fn run_closed_loop(
     let strategy = match kind {
         SystemKind::Vanilla => Strategy::Vanilla { batch },
         SystemKind::NaiveEe => Strategy::NaiveEe { batch },
-        SystemKind::E3 => Strategy::Plan(build_e3_plan(
-            family, cluster, batch, dataset, opts, seed,
-        )),
+        SystemKind::E3 => {
+            Strategy::Plan(build_e3_plan(family, cluster, batch, dataset, opts, seed))
+        }
     };
     let mut ctrl = RampController::all_enabled(model.num_ramps(), family.policy.ramp_style());
     if kind == SystemKind::E3 && opts.use_wrapper {
@@ -249,8 +247,7 @@ pub fn run_closed_loop(
                 opts.profile_samples,
                 SeedSplitter::new(seed).derive("profile"),
             );
-            let keep =
-                crate::system::useful_ramps(model, &profile, &plan.boundaries(), 0.04);
+            let keep = crate::system::useful_ramps(model, &profile, &plan.boundaries(), 0.04);
             ctrl.keep_only(&keep);
         }
     }
@@ -350,13 +347,15 @@ mod tests {
         let cluster = ClusterSpec::paper_homogeneous_v100();
         let ds = DatasetModel::sst2();
         let opts = HarnessOpts::default();
-        let g = |kind, b| {
-            run_closed_loop(kind, &family, &cluster, b, &ds, 20_000, &opts, 1).goodput()
-        };
+        let g =
+            |kind, b| run_closed_loop(kind, &family, &cluster, b, &ds, 20_000, &opts, 1).goodput();
         let bert_8 = g(SystemKind::Vanilla, 8);
         let dee_8 = g(SystemKind::NaiveEe, 8);
         let e3_8 = g(SystemKind::E3, 8);
-        assert!(e3_8 > bert_8 && bert_8 > dee_8, "e3={e3_8} bert={bert_8} dee={dee_8}");
+        assert!(
+            e3_8 > bert_8 && bert_8 > dee_8,
+            "e3={e3_8} bert={bert_8} dee={dee_8}"
+        );
         let bert_1 = g(SystemKind::Vanilla, 1);
         let dee_1 = g(SystemKind::NaiveEe, 1);
         assert!(dee_1 > bert_1, "dee={dee_1} bert={bert_1}");
@@ -370,8 +369,16 @@ mod tests {
         let ds = DatasetModel::sst2();
         let opts = HarnessOpts::default();
         let e3 = run_closed_loop(SystemKind::E3, &family, &cluster, 8, &ds, 20_000, &opts, 2);
-        let naive =
-            run_closed_loop(SystemKind::NaiveEe, &family, &cluster, 8, &ds, 20_000, &opts, 2);
+        let naive = run_closed_loop(
+            SystemKind::NaiveEe,
+            &family,
+            &cluster,
+            8,
+            &ds,
+            20_000,
+            &opts,
+            2,
+        );
         assert!(e3.goodput() > naive.goodput());
     }
 

@@ -4,6 +4,8 @@ use e3_model::BatchProfile;
 use e3_optimizer::SplitPlan;
 use e3_runtime::RunReport;
 
+use crate::reconfig::{ReconfigDecision, ReconfigReport};
+
 /// What happened in one scheduling window.
 #[derive(Debug, Clone)]
 pub struct WindowReport {
@@ -13,7 +15,9 @@ pub struct WindowReport {
     pub predicted: BatchProfile,
     /// The profile actually observed.
     pub observed: Option<BatchProfile>,
-    /// The plan the optimizer produced from the prediction.
+    /// The plan that served (the bulk of) this window. Under guarded
+    /// reconfiguration this is the canary winner — the candidate on
+    /// promotion, the incumbent on rollback.
     pub plan: SplitPlan,
     /// Serving metrics for the window.
     pub run: RunReport,
@@ -22,6 +26,14 @@ pub struct WindowReport {
     /// GPUs the control loop planned against this window — shrinks when
     /// earlier windows lost replicas to unrecovered crashes.
     pub cluster_gpus: usize,
+    /// The guarded plan transition attempted this window, if any.
+    pub reconfig: Option<ReconfigReport>,
+    /// True when the drift watchdog had the loop planning with the
+    /// pessimistic safe-mode profile this window.
+    pub safe_mode: bool,
+    /// True when the watchdog entered safe mode *at* this window (the
+    /// trigger edge).
+    pub watchdog_triggered: bool,
 }
 
 /// A full multi-window E3 run.
@@ -67,6 +79,36 @@ impl E3Report {
             .map(|w| w.drift)
             .collect();
         e3_simcore::stats::mean(&with_obs)
+    }
+
+    /// Guarded transitions that promoted their candidate plan.
+    pub fn promotion_count(&self) -> usize {
+        self.decision_count(ReconfigDecision::Promoted)
+    }
+
+    /// Guarded transitions that rolled back to the incumbent plan.
+    pub fn rollback_count(&self) -> usize {
+        self.decision_count(ReconfigDecision::RolledBack)
+    }
+
+    fn decision_count(&self, d: ReconfigDecision) -> usize {
+        self.windows
+            .iter()
+            .filter(|w| w.reconfig.as_ref().is_some_and(|r| r.decision == d))
+            .count()
+    }
+
+    /// Windows planned with the watchdog's pessimistic safe-mode profile.
+    pub fn safe_mode_windows(&self) -> usize {
+        self.windows.iter().filter(|w| w.safe_mode).count()
+    }
+
+    /// The first window at which the drift watchdog tripped, if any.
+    pub fn first_trigger_window(&self) -> Option<usize> {
+        self.windows
+            .iter()
+            .find(|w| w.watchdog_triggered)
+            .map(|w| w.window)
     }
 
     /// `(predicted, observed)` survival at a given layer boundary per

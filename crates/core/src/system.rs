@@ -11,16 +11,20 @@
 use e3_hardware::{ClusterSpec, LatencyModel, TransferModel};
 use e3_model::{BatchProfile, EeModel, ExitPolicy, InferenceSim, RampController};
 use e3_optimizer::auto::plan_for_cluster;
-use e3_optimizer::OptimizerConfig;
-use e3_profiler::{BatchProfileEstimator, WindowObserver};
-use e3_runtime::{FaultPlan, Strategy};
-use e3_simcore::SeedSplitter;
+use e3_optimizer::{OptimizerConfig, SplitPlan};
+use e3_profiler::{BatchProfileEstimator, DriftWatchdog, WindowObserver};
+use e3_runtime::kernel::NullObserver;
+use e3_runtime::{
+    FaultPlan, KernelEvent, OffsetObserver, RunObserver, RunReport, ServingSim, Strategy,
+};
+use e3_simcore::{SeedSplitter, SimTime};
 use e3_workload::{DatasetModel, Request};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::E3Config;
 use crate::deploy::DeploymentBuilder;
+use crate::reconfig::{ReconfigDecision, ReconfigReport};
 use crate::report::{E3Report, WindowReport};
 
 /// A running E3 deployment: model + cluster + control loop.
@@ -90,23 +94,72 @@ impl E3System {
         phases: &[DatasetModel],
         faults: &[FaultPlan],
     ) -> E3Report {
+        self.run_windows_observed(phases, faults, &mut NullObserver)
+    }
+
+    /// Like [`E3System::run_windows_with_faults`], streaming every kernel
+    /// event — re-based onto one global clock spanning all windows — plus
+    /// the reconfiguration markers (`ReconfigStarted`, `CanaryPromoted`,
+    /// `RolledBack`) to `observer`.
+    ///
+    /// When [`crate::reconfig::ReconfigConfig::guarded`] is set, plan
+    /// changes go through the guarded state machine instead of swapping
+    /// instantly:
+    ///
+    /// * a [`DriftWatchdog`] consumes each window's realized drift; only a
+    ///   *confirmed* regime change resets the estimator, and while the
+    ///   watchdog is in safe mode the optimizer plans against the
+    ///   pessimistic "no exits" profile (forecasts are presumed stale);
+    /// * a window whose fresh plan differs from the incumbent serves in
+    ///   three fully-drained segments — probe (incumbent), canary
+    ///   (candidate), remainder (winner) — and the candidate is promoted
+    ///   only if its canary held the probe's goodput and SLO attainment
+    ///   ([`crate::reconfig::ReconfigConfig::should_promote`]); otherwise
+    ///   the loop rolls back deterministically.
+    ///
+    /// With `guarded` off (the default) this is the naive instant-swap
+    /// loop, bit-for-bit.
+    pub fn run_windows_observed(
+        &self,
+        phases: &[DatasetModel],
+        faults: &[FaultPlan],
+        observer: &mut dyn RunObserver,
+    ) -> E3Report {
         let seeds = SeedSplitter::new(self.cfg.seed);
-        let mut estimator =
-            BatchProfileEstimator::new(self.model.num_layers(), self.cfg.estimator);
+        let mut estimator = BatchProfileEstimator::new(self.model.num_layers(), self.cfg.estimator);
         let mut windows = Vec::with_capacity(phases.len());
         let mut cluster = self.cluster.clone();
+
+        let guarded = self.cfg.reconfig.guarded;
+        let mut watchdog = DriftWatchdog::new(self.cfg.reconfig.watchdog);
+        // The plan currently "deployed": survives across windows so a new
+        // plan has something to canary against. Cleared when the cluster
+        // shrinks (old plans reference replicas that no longer exist).
+        let mut incumbent: Option<SplitPlan> = None;
+        let mut epoch: u32 = 0;
+        // Global clock: each window's (or segment's) events are re-based
+        // so timestamps are monotone across the whole run.
+        let mut clock = SimTime::ZERO;
+        // Was *this* window planned with the safe-mode profile?
+        let mut safe_mode = false;
 
         for (w, dataset) in phases.iter().enumerate() {
             let fault_plan = faults.get(w).cloned().unwrap_or_default();
             let predicted = estimator.forecast();
-            let full_ctrl = RampController::all_enabled(
-                self.model.num_ramps(),
-                self.policy.ramp_style(),
-            );
+            // Safe mode distrusts the forecast entirely and plans as if
+            // nothing exits — the same conservative stance as cold start.
+            let planning = if guarded && safe_mode {
+                DriftWatchdog::safe_profile(self.model.num_layers())
+            } else {
+                predicted.clone()
+            };
+            let planned_safe = guarded && safe_mode;
+            let full_ctrl =
+                RampController::all_enabled(self.model.num_ramps(), self.policy.ramp_style());
             let plan = plan_for_cluster(
                 &self.model,
                 &full_ctrl,
-                &predicted,
+                &planning,
                 &cluster,
                 self.cfg.batch.max(1) as f64,
                 &self.tm,
@@ -114,12 +167,28 @@ impl E3System {
                 &self.optimizer_config(),
             );
 
+            // A guarded transition needs an incumbent to compare against,
+            // an actual plan change, a fault-free window (fault recovery
+            // has its own path), and enough requests to carve segments.
+            let k = self.cfg.reconfig.segment_len(self.cfg.requests_per_window);
+            let can_guard = guarded
+                && fault_plan.is_empty()
+                && k > 0
+                && incumbent.as_ref().is_some_and(|inc| *inc != plan);
+
             // Exit-wrapper (§3.4): disable ramps that are not useful —
             // those where almost nothing exits — keeping boundary ramps
-            // (required to realize the batch profile) regardless.
+            // (required to realize the batch profile) regardless. When
+            // guarding, both contending plans' boundary ramps must stay.
             let serve_ctrl = if self.cfg.use_wrapper {
                 let mut c = full_ctrl.clone();
-                let keep = useful_ramps(&self.model, &predicted, &plan.boundaries(), 0.04);
+                let mut boundaries = plan.boundaries();
+                if can_guard {
+                    if let Some(inc) = &incumbent {
+                        boundaries.extend(inc.boundaries());
+                    }
+                }
+                let keep = useful_ramps(&self.model, &planning, &boundaries, 0.04);
                 c.keep_only(&keep);
                 c
             } else {
@@ -136,21 +205,41 @@ impl E3System {
                     output_tokens: 1,
                 })
                 .collect();
-            let strategy = Strategy::Plan(plan.clone());
-            let stages = strategy.realize(&self.model, &cluster);
-            let sim = DeploymentBuilder::new(&self.model, self.policy, &strategy, &cluster)
-                .with_ctrl(serve_ctrl)
-                .with_inference(self.infer)
-                .with_latency_model(self.lm)
-                .with_transfer_model(self.tm)
-                .with_slo(self.cfg.slo)
-                .with_fault_plan(fault_plan.clone())
-                .build();
-            let run = sim.run(&requests, seeds.derive_indexed("window-run", w as u64));
+
+            let (run, winner_plan, reconfig) = if can_guard {
+                let inc = incumbent.clone().expect("can_guard implies incumbent");
+                epoch += 1;
+                let (run, winner, report) = self.serve_window_guarded(
+                    w,
+                    &seeds,
+                    &requests,
+                    &inc,
+                    &plan,
+                    &serve_ctrl,
+                    &cluster,
+                    epoch,
+                    clock,
+                    observer,
+                );
+                (run, winner, Some(report))
+            } else {
+                let strategy = Strategy::Plan(plan.clone());
+                let sim = self.deployment(&strategy, &cluster, serve_ctrl, fault_plan.clone());
+                let mut off = OffsetObserver::new(clock, observer);
+                let run = sim.run_observed(
+                    &requests,
+                    seeds.derive_indexed("window-run", w as u64),
+                    &mut off,
+                );
+                (run, plan, None)
+            };
             let cluster_gpus = cluster.num_gpus();
+            clock += run.duration;
 
             // Replicas lost for good this window shrink the cluster the
             // optimizer sees from the next window on.
+            let strategy = Strategy::Plan(winner_plan.clone());
+            let stages = strategy.realize(&self.model, &cluster);
             let replica_kinds: Vec<_> = stages.iter().flat_map(|s| s.replicas.clone()).collect();
             for rid in fault_plan.permanently_crashed() {
                 if let Some(&kind) = replica_kinds.get(rid) {
@@ -159,6 +248,11 @@ impl E3System {
                     }
                 }
             }
+            incumbent = if cluster.num_gpus() < cluster_gpus {
+                None
+            } else {
+                Some(winner_plan.clone())
+            };
 
             // Observe the realized profile.
             let mut obs = WindowObserver::new(self.model.num_layers());
@@ -171,7 +265,21 @@ impl E3System {
             }
             let observed = obs.profile();
             let drift = observed.as_ref().map_or(0.0, |o| estimator.drift(o));
-            if let Some(o) = &observed {
+            let mut watchdog_triggered = false;
+            if guarded {
+                // The watchdog decides: instant single-window spikes are
+                // absorbed; only confirmed drift resets the estimator, and
+                // entering safe mode pessimizes the *next* window's plan.
+                let verdict = watchdog.observe(w, observed.as_ref().map(|_| drift));
+                if verdict.reset_estimator {
+                    estimator.reset_history();
+                }
+                watchdog_triggered = verdict.entered_safe_mode.is_some();
+                safe_mode = watchdog.in_safe_mode();
+                if let Some(o) = &observed {
+                    estimator.observe_window(o);
+                }
+            } else if let Some(o) = &observed {
                 // Reactive correction (§3.1): a drastic mismatch means the
                 // workload regime changed; forget the dead trend so the
                 // next forecast tracks the new one immediately.
@@ -185,13 +293,123 @@ impl E3System {
                 window: w,
                 predicted,
                 observed,
-                plan,
+                plan: winner_plan,
                 run,
                 drift,
                 cluster_gpus,
+                reconfig,
+                safe_mode: planned_safe,
+                watchdog_triggered,
             });
         }
         E3Report { windows }
+    }
+
+    /// Assembles the serving simulator for one window (or one guarded
+    /// segment) of the control loop.
+    fn deployment<'a>(
+        &'a self,
+        strategy: &'a Strategy,
+        cluster: &'a ClusterSpec,
+        ctrl: RampController,
+        fault_plan: FaultPlan,
+    ) -> ServingSim<'a> {
+        DeploymentBuilder::new(&self.model, self.policy, strategy, cluster)
+            .with_ctrl(ctrl)
+            .with_inference(self.infer)
+            .with_latency_model(self.lm)
+            .with_transfer_model(self.tm)
+            .with_slo(self.cfg.slo)
+            .with_fault_plan(fault_plan)
+            .with_queue_cap(self.cfg.queue_cap)
+            .build()
+    }
+
+    /// One guarded plan transition (the window's serving path when the
+    /// fresh plan differs from the incumbent): probe the incumbent on a
+    /// slice of the window's requests, canary the candidate on an equal
+    /// slice, promote or roll back by paired comparison, and serve the
+    /// remainder with the winner. Each segment is a complete kernel run —
+    /// its event queue drains before the next segment starts, so no batch
+    /// ever straddles two plans (the "epoch drain").
+    ///
+    /// Returns the merged window report (segments concatenated onto one
+    /// clock), the winning plan, and the transition record.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_window_guarded(
+        &self,
+        w: usize,
+        seeds: &SeedSplitter,
+        requests: &[Request],
+        incumbent: &SplitPlan,
+        candidate: &SplitPlan,
+        serve_ctrl: &RampController,
+        cluster: &ClusterSpec,
+        epoch: u32,
+        clock: SimTime,
+        observer: &mut dyn RunObserver,
+    ) -> (RunReport, SplitPlan, ReconfigReport) {
+        let n = requests.len();
+        let k = self.cfg.reconfig.segment_len(n);
+        debug_assert!(k > 0 && 2 * k < n, "caller checked segment_len");
+        let inc_strategy = Strategy::Plan(incumbent.clone());
+        let cand_strategy = Strategy::Plan(candidate.clone());
+        let inc_sim = self.deployment(&inc_strategy, cluster, serve_ctrl.clone(), FaultPlan::new());
+        let cand_sim = self.deployment(
+            &cand_strategy,
+            cluster,
+            serve_ctrl.clone(),
+            FaultPlan::new(),
+        );
+
+        observer.on_event(clock, &KernelEvent::ReconfigStarted { epoch });
+        let probe = {
+            let mut off = OffsetObserver::new(clock, observer);
+            inc_sim.run_segment(
+                &requests[..k],
+                seeds.derive_indexed("reconfig-probe", w as u64),
+                &mut off,
+            )
+        };
+        let t1 = clock + probe.report.duration;
+        let canary = {
+            let mut off = OffsetObserver::new(t1, observer);
+            cand_sim.run_segment(
+                &requests[k..2 * k],
+                seeds.derive_indexed("reconfig-canary", w as u64),
+                &mut off,
+            )
+        };
+        let t2 = t1 + canary.report.duration;
+
+        let promote = self
+            .cfg
+            .reconfig
+            .should_promote(&probe.report, &canary.report);
+        let decision = if promote {
+            observer.on_event(t2, &KernelEvent::CanaryPromoted { epoch });
+            ReconfigDecision::Promoted
+        } else {
+            observer.on_event(t2, &KernelEvent::RolledBack { epoch });
+            ReconfigDecision::RolledBack
+        };
+        let report = ReconfigReport::new(epoch, decision, &probe.report, &canary.report, k);
+        let (winner_sim, winner_plan) = if promote {
+            (&cand_sim, candidate)
+        } else {
+            (&inc_sim, incumbent)
+        };
+
+        let rest = {
+            let mut off = OffsetObserver::new(t2, observer);
+            winner_sim.run_segment(
+                &requests[2 * k..],
+                seeds.derive_indexed("reconfig-rest", w as u64),
+                &mut off,
+            )
+        };
+        let run = RunReport::concat(vec![probe.report, canary.report, rest.report]);
+        (run, winner_plan.clone(), report)
     }
 
     /// The model served by this system.
@@ -342,16 +560,14 @@ mod tests {
         };
         let with = mk(true);
         let without = mk(false);
-        assert!(
-            with > without,
-            "wrapper {with} vs plain {without}"
-        );
+        assert!(with > without, "wrapper {with} vs plain {without}");
     }
 
     #[test]
     fn measured_profile_is_sane() {
         let m = zoo::deebert();
-        let ctrl = RampController::all_enabled(m.num_ramps(), zoo::default_policy("DeeBERT").ramp_style());
+        let ctrl =
+            RampController::all_enabled(m.num_ramps(), zoo::default_policy("DeeBERT").ramp_style());
         let p = measure_profile(
             &m,
             &zoo::default_policy("DeeBERT"),

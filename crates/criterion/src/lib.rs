@@ -127,7 +127,12 @@ impl BenchmarkGroup<'_> {
     {
         let mut b = Bencher { median_ns: 0 };
         f(&mut b);
-        report(Some(&self.name), &id.to_string(), self.throughput, b.median_ns);
+        report(
+            Some(&self.name),
+            &id.to_string(),
+            self.throughput,
+            b.median_ns,
+        );
         self
     }
 
@@ -190,10 +195,11 @@ mod tests {
     fn bencher_measures_something() {
         let mut c = Criterion::default();
         let mut g = c.benchmark_group("demo");
-        g.throughput(Throughput::Elements(10))
-            .bench_with_input(BenchmarkId::from_parameter(1), &3u64, |b, &x| {
-                b.iter(|| (0..100).map(|i| i * x).sum::<u64>())
-            });
+        g.throughput(Throughput::Elements(10)).bench_with_input(
+            BenchmarkId::from_parameter(1),
+            &3u64,
+            |b, &x| b.iter(|| (0..100).map(|i| i * x).sum::<u64>()),
+        );
         g.finish();
     }
 

@@ -132,7 +132,10 @@ mod tests {
             .map(|g| g.relative_peak_throughput())
             .collect();
         for w in peaks.windows(2) {
-            assert!(w[0] > w[1], "peak throughput must strictly decrease: {peaks:?}");
+            assert!(
+                w[0] > w[1],
+                "peak throughput must strictly decrease: {peaks:?}"
+            );
         }
         assert!((GpuKind::V100.relative_peak_throughput() - 1.0).abs() < 1e-12);
     }

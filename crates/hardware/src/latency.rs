@@ -140,9 +140,15 @@ mod tests {
     #[test]
     fn latency_linear_above_saturation() {
         let m = LatencyModel::new();
-        let t4 = m.layer_time(BERT_LAYER_US, 4.0, GpuKind::V100).as_secs_f64();
-        let t8 = m.layer_time(BERT_LAYER_US, 8.0, GpuKind::V100).as_secs_f64();
-        let t16 = m.layer_time(BERT_LAYER_US, 16.0, GpuKind::V100).as_secs_f64();
+        let t4 = m
+            .layer_time(BERT_LAYER_US, 4.0, GpuKind::V100)
+            .as_secs_f64();
+        let t8 = m
+            .layer_time(BERT_LAYER_US, 8.0, GpuKind::V100)
+            .as_secs_f64();
+        let t16 = m
+            .layer_time(BERT_LAYER_US, 16.0, GpuKind::V100)
+            .as_secs_f64();
         assert!(t8 / t4 > 1.9 && t8 / t4 < 2.0, "t8/t4={}", t8 / t4);
         assert!(t16 / t8 > 1.9 && t16 / t8 < 2.1);
     }
@@ -153,8 +159,12 @@ mod tests {
         // ~20 ms at b=8 (fig. 7 calibration anchors, DESIGN.md).
         let m = LatencyModel::new();
         let works = vec![BERT_LAYER_US; 12];
-        let t4 = m.layers_time(&works, &[4.0; 12], GpuKind::V100).as_millis_f64();
-        let t8 = m.layers_time(&works, &[8.0; 12], GpuKind::V100).as_millis_f64();
+        let t4 = m
+            .layers_time(&works, &[4.0; 12], GpuKind::V100)
+            .as_millis_f64();
+        let t8 = m
+            .layers_time(&works, &[8.0; 12], GpuKind::V100)
+            .as_millis_f64();
         assert!((9.0..11.0).contains(&t4), "t4={t4}ms");
         assert!((18.0..21.0).contains(&t8), "t8={t8}ms");
     }

@@ -321,9 +321,7 @@ mod tests {
         let mut depth = |h: f64| -> f64 {
             let n = 500;
             (0..n)
-                .map(|_| {
-                    sim.run_sample(&m, &pol, &ctrl, h, &mut rng).layers_executed as f64
-                })
+                .map(|_| sim.run_sample(&m, &pol, &ctrl, h, &mut rng).layers_executed as f64)
                 .sum::<f64>()
                 / n as f64
         };

@@ -150,7 +150,9 @@ impl EeModel {
             return Err(ModelError::Empty);
         }
         for l in &layers {
-            if !(l.work_us >= 0.0 && l.work_us.is_finite() && l.fixed_us >= 0.0
+            if !(l.work_us >= 0.0
+                && l.work_us.is_finite()
+                && l.fixed_us >= 0.0
                 && l.fixed_us.is_finite())
             {
                 return Err(ModelError::InvalidCost { what: "layer" });
@@ -163,7 +165,9 @@ impl EeModel {
             if r.after_layer == layers.len() - 1 {
                 return Err(ModelError::RampAfterFinalLayer);
             }
-            if !(r.work_us >= 0.0 && r.work_us.is_finite() && r.fixed_us >= 0.0
+            if !(r.work_us >= 0.0
+                && r.work_us.is_finite()
+                && r.fixed_us >= 0.0
                 && r.fixed_us.is_finite())
             {
                 return Err(ModelError::InvalidCost { what: "ramp" });
@@ -404,14 +408,7 @@ mod tests {
 
     #[test]
     fn without_exits_strips_ramps() {
-        let m = EeModel::new(
-            "m",
-            vec![layer(); 4],
-            vec![ramp(1)],
-            classification(),
-            None,
-        )
-        .unwrap();
+        let m = EeModel::new("m", vec![layer(); 4], vec![ramp(1)], classification(), None).unwrap();
         let stock = m.without_exits();
         assert!(!stock.has_exits());
         assert_eq!(stock.num_layers(), 4);

@@ -180,7 +180,7 @@ mod tests {
         assert!(!s.observe(&p, &obs(0.0, 1.0, 0, 1.0))); // reset -> streak 1
         assert!(!s.observe(&p, &obs(0.0, 1.0, 0, 1.0))); // streak 2
         assert!(s.observe(&p, &obs(0.0, 1.0, 0, 1.0))); // streak 3 -> exit
-        // A disagreement anywhere restarts the count entirely.
+                                                        // A disagreement anywhere restarts the count entirely.
         let mut s2 = SampleExitState::new();
         s2.observe(&p, &obs(0.0, 1.0, 0, 1.0));
         s2.observe(&p, &obs(0.0, 1.0, 0, 1.0));
@@ -193,7 +193,10 @@ mod tests {
         let mut s = SampleExitState::new();
         assert!(!s.observe(&p, &obs(0.0, 1.0, 3, 1.0)));
         assert!(!s.observe(&p, &obs(0.0, 1.0, 1, 1.0)));
-        assert!(s.observe(&p, &obs(0.0, 1.0, 3, 1.0)), "two votes for class 3");
+        assert!(
+            s.observe(&p, &obs(0.0, 1.0, 3, 1.0)),
+            "two votes for class 3"
+        );
     }
 
     #[test]

@@ -217,7 +217,9 @@ pub fn llama31_8b() -> EeModel {
         "Llama3.1-8b",
         uniform_layers(32, 1200.0, 130.0, 2048 * 4096 / 2), // activations per token context
         vec![],
-        Task::Generation { vocab_size: 128_256 },
+        Task::Generation {
+            vocab_size: 128_256,
+        },
         Some(AutoRegSpec {
             encoder_layers: 0,
             lm_head: LayerSpec {
@@ -241,7 +243,9 @@ pub fn llama31_8b_ee() -> EeModel {
         "Llama3.1-8b-EE",
         stock.layers().to_vec(),
         ramps,
-        Task::Generation { vocab_size: 128_256 },
+        Task::Generation {
+            vocab_size: 128_256,
+        },
         stock.autoreg().copied(),
     )
     .expect("static model definition")
@@ -399,11 +403,7 @@ mod tests {
 
     #[test]
     fn related_work_architectures_construct() {
-        for (m, expected_ramps) in [
-            (fastbert(), 11),
-            (berxit(), 11),
-            (elbert(), 11),
-        ] {
+        for (m, expected_ramps) in [(fastbert(), 11), (berxit(), 11), (elbert(), 11)] {
             assert_eq!(m.num_ramps(), expected_ramps, "{}", m.name());
             assert_eq!(m.num_layers(), 12);
         }
@@ -423,12 +423,18 @@ mod tests {
             default_policy("DeeBERT"),
             ExitPolicy::Entropy { threshold: 0.4 }
         );
-        assert_eq!(default_policy("PABEE"), ExitPolicy::Patience { patience: 4 });
+        assert_eq!(
+            default_policy("PABEE"),
+            ExitPolicy::Patience { patience: 4 }
+        );
         assert_eq!(
             default_policy("CALM"),
             ExitPolicy::Confidence { threshold: 0.25 }
         );
-        assert_eq!(default_policy("BERxiT"), ExitPolicy::Learned { threshold: 0.6 });
+        assert_eq!(
+            default_policy("BERxiT"),
+            ExitPolicy::Learned { threshold: 0.6 }
+        );
         assert_eq!(default_policy("ELBERT"), ExitPolicy::Voting { quorum: 4 });
     }
 }

@@ -70,7 +70,15 @@ pub fn run_ablations(
         name: "pipelined-objective",
         with_choice: base.clone(),
         without_choice: optimize_homogeneous(
-            model, ctrl, profile, gpu, num_gpus, b0, &tm, lm, &serial_cfg,
+            model,
+            ctrl,
+            profile,
+            gpu,
+            num_gpus,
+            b0,
+            &tm,
+            lm,
+            &serial_cfg,
         ),
     });
 
@@ -79,8 +87,17 @@ pub fn run_ablations(
         stage_overhead_frac: 0.0,
         ..*cfg
     };
-    let unpenalized =
-        optimize_homogeneous(model, ctrl, profile, gpu, num_gpus, b0, &tm, lm, &no_penalty);
+    let unpenalized = optimize_homogeneous(
+        model,
+        ctrl,
+        profile,
+        gpu,
+        num_gpus,
+        b0,
+        &tm,
+        lm,
+        &no_penalty,
+    );
     // The unpenalized plan's *predicted* goodput is not comparable (it
     // ignores the jitter); re-cost it under the shipped assumptions by
     // reporting its raw value — callers simulate both to see the truth.

@@ -190,17 +190,9 @@ mod tests {
         };
         let cluster = ClusterSpec::paper_homogeneous_v100();
         let batches = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
-        let (b_tight, _) = best_plan_over_batches(
-            &m,
-            &c,
-            &half_by_six(),
-            &cluster,
-            &batches,
-            &tm,
-            &lm,
-            &cfg,
-        )
-        .expect("feasible");
+        let (b_tight, _) =
+            best_plan_over_batches(&m, &c, &half_by_six(), &cluster, &batches, &tm, &lm, &cfg)
+                .expect("feasible");
         let cfg_loose = OptimizerConfig {
             slo: SimDuration::from_millis(1000),
             ..Default::default()

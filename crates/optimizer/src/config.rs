@@ -59,9 +59,7 @@ impl OptimizerConfig {
     /// closed-loop clients.
     pub fn formation_delay(&self, b0: f64) -> SimDuration {
         match self.request_rate {
-            Some(rate) if rate > 0.0 && b0 > 1.0 => {
-                SimDuration::from_secs_f64((b0 - 1.0) / rate)
-            }
+            Some(rate) if rate > 0.0 && b0 > 1.0 => SimDuration::from_secs_f64((b0 - 1.0) / rate),
             _ => SimDuration::ZERO,
         }
     }

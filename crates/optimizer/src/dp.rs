@@ -167,7 +167,16 @@ fn pipelined_dp(
     stages_rev.reverse();
 
     build_plan(
-        model, ctrl, profile, gpu, b0, tm, lm, cfg, &stages_rev, true,
+        model,
+        ctrl,
+        profile,
+        gpu,
+        b0,
+        tm,
+        lm,
+        cfg,
+        &stages_rev,
+        true,
     )
 }
 
@@ -237,7 +246,9 @@ fn serial_dp(
         }
     }
     cuts.reverse();
-    build_plan(model, ctrl, profile, gpu, b0, &gather, lm, cfg, &cuts, false)
+    build_plan(
+        model, ctrl, profile, gpu, b0, &gather, lm, cfg, &cuts, false,
+    )
 }
 
 /// Assembles a [`SplitPlan`] from stage tuples `(start, end, replicas)`.
@@ -332,9 +343,8 @@ pub(crate) fn build_plan_hetero(
         .map(|s| s.batch_time)
         .chain(raw_transfers.iter().copied())
         .fold(SimDuration::ZERO, |acc, d| acc + d);
-    let worst_case_latency = cfg.formation_delay(b0)
-        + serial_path
-        + cycle_time.mul_f64(splits.len() as f64);
+    let worst_case_latency =
+        cfg.formation_delay(b0) + serial_path + cycle_time.mul_f64(splits.len() as f64);
     // Goodput is b0 per cycle in both modes: effective times are already
     // survival-weighted and replica-shared, so the serial sum equals the
     // per-GPU batch time divided by the data-parallel width.

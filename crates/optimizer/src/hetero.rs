@@ -206,13 +206,11 @@ pub fn optimize_heterogeneous(
             if feasible {
                 // Same realization penalty per extra stage as the
                 // homogeneous DP (see OptimizerConfig::stage_overhead_frac).
-                let penalized =
-                    bottleneck * (1.0 + cfg.stage_overhead_frac * (s as f64 - 1.0));
+                let penalized = bottleneck * (1.0 + cfg.stage_overhead_frac * (s as f64 - 1.0));
                 let better = match &best {
                     None => true,
                     Some((bb, bc, _)) => {
-                        penalized < bb - 1e-12
-                            || ((penalized - bb).abs() <= 1e-12 && cost < *bc)
+                        penalized < bb - 1e-12 || ((penalized - bb).abs() <= 1e-12 && cost < *bc)
                     }
                 };
                 if better {
@@ -469,21 +467,10 @@ mod tests {
         let (m, c, lm, tm) = setup();
         let cfg = OptimizerConfig::default();
         let counts = paper_hetero_counts();
-        let full =
-            optimize_heterogeneous(&m, &c, &half_by_six(), &counts, 8.0, &tm, &lm, &cfg);
+        let full = optimize_heterogeneous(&m, &c, &half_by_six(), &counts, 8.0, &tm, &lm, &cfg);
         let target = full.goodput * 0.5;
-        let cheap = min_cost_plan(
-            &m,
-            &c,
-            &half_by_six(),
-            &counts,
-            8.0,
-            target,
-            &tm,
-            &lm,
-            &cfg,
-        )
-        .expect("target reachable");
+        let cheap = min_cost_plan(&m, &c, &half_by_six(), &counts, 8.0, target, &tm, &lm, &cfg)
+            .expect("target reachable");
         assert!(cheap.goodput >= target * 0.99, "{}", cheap.goodput);
         assert!(
             cheap.cost_per_sec() < full.cost_per_sec(),
@@ -499,17 +486,7 @@ mod tests {
         let cfg = OptimizerConfig::default();
         let mut counts = BTreeMap::new();
         counts.insert(GpuKind::K80, 1);
-        let plan = min_cost_plan(
-            &m,
-            &c,
-            &half_by_six(),
-            &counts,
-            8.0,
-            1.0e9,
-            &tm,
-            &lm,
-            &cfg,
-        );
+        let plan = min_cost_plan(&m, &c, &half_by_six(), &counts, 8.0, 1.0e9, &tm, &lm, &cfg);
         assert!(plan.is_none());
     }
 

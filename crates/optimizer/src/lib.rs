@@ -42,7 +42,10 @@ pub mod plan;
 pub mod stage;
 
 pub use ablation::{run_ablations, AblationResult};
-pub use auto::{best_plan_over_batches, min_cost_for_goodput, min_gpus_for_goodput, plan_feasible, plan_for_cluster};
+pub use auto::{
+    best_plan_over_batches, min_cost_for_goodput, min_gpus_for_goodput, plan_feasible,
+    plan_for_cluster,
+};
 pub use config::OptimizerConfig;
 pub use dp::optimize_homogeneous;
 pub use hetero::optimize_heterogeneous;

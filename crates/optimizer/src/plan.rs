@@ -68,11 +68,7 @@ impl SplitPlan {
 
     /// The layer boundaries between splits (exclusive of 0 and L).
     pub fn boundaries(&self) -> Vec<usize> {
-        self.splits
-            .iter()
-            .skip(1)
-            .map(|s| s.layers.start)
-            .collect()
+        self.splits.iter().skip(1).map(|s| s.layers.start).collect()
     }
 
     /// Validates structural invariants: contiguous coverage of
@@ -115,9 +111,11 @@ impl SplitPlan {
     pub fn memory_feasible(&self, model: &e3_model::EeModel) -> bool {
         use e3_hardware::memory::{params_from_work_us, MemoryFootprint};
         self.splits.iter().all(|split| {
-            let params: f64 = split.layers.clone().map(|k| {
-                params_from_work_us(model.layers()[k].work_us)
-            }).sum();
+            let params: f64 = split
+                .layers
+                .clone()
+                .map(|k| params_from_work_us(model.layers()[k].work_us))
+                .sum();
             let widest = split
                 .layers
                 .clone()

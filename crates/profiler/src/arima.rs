@@ -299,7 +299,9 @@ mod tests {
         let mut xs = vec![0.0f64];
         let mut s = 42u64;
         for _ in 0..400 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((s >> 11) as f64) / ((1u64 << 53) as f64) - 0.5;
             let prev = *xs.last().expect("nonempty");
             xs.push(0.7 * prev + u);

@@ -264,4 +264,80 @@ mod tests {
         let mut e = BatchProfileEstimator::new(4, EstimatorConfig::default());
         e.observe_window(&profile(&[0.5]));
     }
+
+    #[test]
+    fn drift_is_zero_before_any_forecast() {
+        // No forecast issued: there is nothing to have drifted from, so
+        // the threshold can never fire regardless of the observation.
+        let e = BatchProfileEstimator::new(1, EstimatorConfig::default());
+        let obs = profile(&[0.0]);
+        assert_eq!(e.drift(&obs), 0.0);
+        assert!(!e.drift_exceeds(&obs));
+    }
+
+    #[test]
+    fn drift_exactly_at_threshold_does_not_exceed() {
+        // drift_exceeds is a strict comparison: an error landing exactly
+        // on the threshold is tolerated; only strictly more trips it. Use
+        // a dyadic threshold and dyadic survivals so every value below is
+        // exact in binary and the boundary is not blurred by rounding.
+        let cfg = EstimatorConfig {
+            drift_threshold: 0.125,
+            ..Default::default()
+        };
+        let mut e = BatchProfileEstimator::new(1, cfg);
+        e.observe_window(&profile(&[0.5]));
+        e.observe_window(&profile(&[0.5]));
+        let f = e.forecast();
+        assert_eq!(f.survival_at(1), 0.5);
+        // Two boundaries: survival [1.0, s]. Boundary 0 always matches,
+        // so drift = |0.5 - s_obs| / 2.
+        let at_threshold = profile(&[0.75]); // drift = 0.25 / 2 = 0.125
+        assert_eq!(e.drift(&at_threshold), 0.125);
+        assert!(!e.drift_exceeds(&at_threshold));
+        let above = profile(&[0.78125]); // drift = 0.140625
+        assert!(e.drift_exceeds(&above));
+        let below = profile(&[0.625]); // drift = 0.0625
+        assert!(!e.drift_exceeds(&below));
+    }
+
+    #[test]
+    fn reset_on_empty_history_is_harmless() {
+        let mut e = BatchProfileEstimator::new(2, EstimatorConfig::default());
+        e.reset_history();
+        assert_eq!(e.windows_observed(), 0);
+        // Still boots conservatively after a vacuous reset.
+        assert_eq!(e.forecast().survival(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn reset_clears_drift_baseline() {
+        let mut e = BatchProfileEstimator::new(1, EstimatorConfig::default());
+        for _ in 0..12 {
+            e.observe_window(&profile(&[0.9]));
+        }
+        let _ = e.forecast();
+        let new_regime = profile(&[0.1]);
+        assert!(e.drift_exceeds(&new_regime));
+        // The reset forgets the forecast along with the history: drift is
+        // defined against a forecast, and none is outstanding.
+        e.reset_history();
+        assert_eq!(e.drift(&new_regime), 0.0);
+        assert!(!e.drift_exceeds(&new_regime));
+    }
+
+    #[test]
+    fn post_reset_forecast_tracks_new_regime_immediately() {
+        let mut e = BatchProfileEstimator::new(2, EstimatorConfig::default());
+        for _ in 0..15 {
+            e.observe_window(&profile(&[0.9, 0.8]));
+        }
+        e.reset_history();
+        e.observe_window(&profile(&[0.3, 0.1]));
+        let f = e.forecast();
+        // One post-reset observation fully determines the forecast; the
+        // dead trend must contribute nothing.
+        assert!((f.survival_at(1) - 0.3).abs() < 1e-9, "{:?}", f.survival());
+        assert!((f.survival_at(2) - 0.1).abs() < 1e-9);
+    }
 }

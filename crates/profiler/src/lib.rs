@@ -21,13 +21,18 @@
 //!   window-level survival observations, with monotonicity/range clamps
 //!   (the paper's "safety checks") and drift detection that triggers
 //!   re-optimization when predictions diverge from reality.
+//! * [`watchdog`] — the guarded-reconfiguration front end over the raw
+//!   drift signal: hysteresis, consecutive-window confirmation, and a
+//!   pessimistic safe-mode profile for stale or confirmed-bad forecasts.
 
 pub mod arima;
 pub mod estimator;
 pub mod selection;
+pub mod watchdog;
 pub mod window;
 
 pub use arima::{ArimaError, ArimaModel};
 pub use estimator::{BatchProfileEstimator, EstimatorConfig};
 pub use selection::{ljung_box, select_order, OrderScore};
+pub use watchdog::{DriftWatchdog, SafeModeReason, WatchdogConfig, WatchdogState, WatchdogVerdict};
 pub use window::WindowObserver;

@@ -102,7 +102,9 @@ mod tests {
     fn ar1_series(phi: f64, n: usize, seed: u64) -> Vec<f64> {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
         };
         let mut xs = vec![0.0];
@@ -159,7 +161,10 @@ mod tests {
         let lags = 10;
         let q_noise = ljung_box(&noise, lags);
         let q_struct = ljung_box(&structured, lags);
-        assert!(q_struct > q_noise * 3.0, "noise {q_noise} struct {q_struct}");
+        assert!(
+            q_struct > q_noise * 3.0,
+            "noise {q_noise} struct {q_struct}"
+        );
         // White noise should sit near the chi-square mean (= lags).
         assert!(q_noise < 3.0 * lags as f64, "q_noise {q_noise}");
     }

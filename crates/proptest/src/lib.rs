@@ -321,8 +321,12 @@ mod tests {
     #[test]
     fn cases_are_deterministic() {
         use rand::Rng;
-        let a: Vec<u64> = (0..5).map(|c| super::case_rng("t", c).gen::<u64>()).collect();
-        let b: Vec<u64> = (0..5).map(|c| super::case_rng("t", c).gen::<u64>()).collect();
+        let a: Vec<u64> = (0..5)
+            .map(|c| super::case_rng("t", c).gen::<u64>())
+            .collect();
+        let b: Vec<u64> = (0..5)
+            .map(|c| super::case_rng("t", c).gen::<u64>())
+            .collect();
         assert_eq!(a, b);
     }
 }

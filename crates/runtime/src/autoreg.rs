@@ -195,10 +195,7 @@ pub fn simulate_autoreg(
             for chunk in requests.chunks(b0) {
                 let mut t_chunk = encoder_time(chunk.len() as f64);
                 for k in enc..model.num_layers() {
-                    let active = chunk
-                        .iter()
-                        .filter(|r| r[0].layers_executed > k)
-                        .count() as f64;
+                    let active = chunk.iter().filter(|r| r[0].layers_executed > k).count() as f64;
                     if active == 0.0 {
                         break;
                     }
@@ -423,7 +420,18 @@ mod tests {
         let boundary = pick_boundary(&calm, &pol, &ctrl, &inf, &ds, 0.5, 7);
         let run = |strat, b| {
             simulate_autoreg(
-                &calm, &pol, &ctrl, &inf, &ds, strat, GpuKind::A6000, 4, b, 400, &lm, 2,
+                &calm,
+                &pol,
+                &ctrl,
+                &inf,
+                &ds,
+                strat,
+                GpuKind::A6000,
+                4,
+                b,
+                400,
+                &lm,
+                2,
             )
             .goodput
         };
@@ -475,7 +483,12 @@ mod tests {
             &lm,
             3,
         );
-        assert!(e.goodput < v.goodput, "ee={} vanilla={}", e.goodput, v.goodput);
+        assert!(
+            e.goodput < v.goodput,
+            "ee={} vanilla={}",
+            e.goodput,
+            v.goodput
+        );
     }
 
     #[test]

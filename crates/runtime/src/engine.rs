@@ -75,6 +75,20 @@ pub struct ServingConfig {
     /// Report duration floor (open-loop traces with idle tails divide
     /// goodput by the full horizon, not the last completion).
     pub horizon: Option<SimDuration>,
+    /// Bound on queued batches per replica (excluding the batch
+    /// executing). Routing sheds a batch — dropping its samples — when
+    /// even the least-loaded candidate replica is at the bound. `None`
+    /// (the default) keeps the pre-existing unbounded behaviour.
+    pub queue_cap: Option<usize>,
+    /// Retry/backoff schedule for stage transfers that hit a downed link
+    /// ([`crate::kernel::FaultEvent::LinkDown`]). Inert without link
+    /// faults.
+    pub transfer_retry: TransferRetryConfig,
+    /// Stop ingesting new work at this instant and let in-flight batches
+    /// drain (the guarded-reconfiguration segment boundary). Closed loop:
+    /// feeders stop pulling; open loop: later arrivals stay in the
+    /// backlog. `None` serves everything.
+    pub drain_at: Option<SimTime>,
 }
 
 impl Default for ServingConfig {
@@ -90,8 +104,43 @@ impl Default for ServingConfig {
             detect_stragglers: false,
             fault_plan: FaultPlan::new(),
             horizon: None,
+            queue_cap: None,
+            transfer_retry: TransferRetryConfig::default(),
+            drain_at: None,
         }
     }
+}
+
+/// Backoff schedule for transfers interrupted by a link outage: attempt
+/// `k` waits `base_backoff * 2^(k-1)`; after `max_attempts` failed
+/// attempts the transfer aborts and its samples are dropped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferRetryConfig {
+    /// Retry attempts before the transfer aborts.
+    pub max_attempts: u32,
+    /// Wait before the first retry; doubles each further attempt.
+    pub base_backoff: SimDuration,
+}
+
+impl Default for TransferRetryConfig {
+    fn default() -> Self {
+        TransferRetryConfig {
+            max_attempts: 4,
+            base_backoff: SimDuration::from_millis(2),
+        }
+    }
+}
+
+/// The outcome of one [`ServingSim::run_segment`] call: the segment's
+/// metrics plus how far into the request slice it got before the drain
+/// point (callers feed `requests[consumed..]` to the next segment).
+#[derive(Debug, Clone)]
+pub struct SegmentRun {
+    /// Metrics of the segment.
+    pub report: RunReport,
+    /// Requests ingested by the segment (completed or dropped); the rest
+    /// of the slice was never started.
+    pub consumed: usize,
 }
 
 /// The serving simulator. Construct once, then [`ServingSim::run`].
@@ -131,7 +180,10 @@ impl<'a> ServingSim<'a> {
             "stages must cover the model"
         );
         for w in stages.windows(2) {
-            assert_eq!(w[0].layers.end, w[1].layers.start, "stages must be contiguous");
+            assert_eq!(
+                w[0].layers.end, w[1].layers.start,
+                "stages must be contiguous"
+            );
         }
         assert!(
             stages.iter().all(|s| !s.replicas.is_empty()),
@@ -210,33 +262,68 @@ impl<'a> ServingSim<'a> {
         policies: KernelPolicies<'_>,
         observer: &mut dyn RunObserver,
     ) -> RunReport {
+        self.run_inner(requests, seed, policies, observer).report
+    }
+
+    /// Runs one *segment* of a logical window with the default policies:
+    /// honors [`ServingConfig::drain_at`] and reports how many requests
+    /// the segment ingested, so a caller can serve the remainder under a
+    /// different plan (guarded reconfiguration's probe/canary/remainder
+    /// split). Without a `drain_at` this ingests everything and is
+    /// equivalent to [`ServingSim::run_observed`].
+    pub fn run_segment(
+        &self,
+        requests: &[Request],
+        seed: u64,
+        observer: &mut dyn RunObserver,
+    ) -> SegmentRun {
+        self.run_inner(requests, seed, self.default_policies(), observer)
+    }
+
+    fn run_inner(
+        &self,
+        requests: &[Request],
+        seed: u64,
+        policies: KernelPolicies<'_>,
+        observer: &mut dyn RunObserver,
+    ) -> SegmentRun {
         let mut rng = StdRng::seed_from_u64(seed);
         let backlog: Vec<SimSample> = requests
             .iter()
             .map(|r| {
-                SimSample::materialize(r, self.model, &self.infer, &self.policy, &self.ctrl, &mut rng)
+                SimSample::materialize(
+                    r,
+                    self.model,
+                    &self.infer,
+                    &self.policy,
+                    &self.ctrl,
+                    &mut rng,
+                )
             })
             .collect();
 
-        let acc = Kernel::new(self, backlog, policies, observer).run();
+        let (acc, consumed) = Kernel::new(self, backlog, policies, observer).run();
         let last = acc.last_completion();
         let duration = match self.cfg.horizon {
             Some(h) => last.saturating_since(SimTime::ZERO).max(h),
             None => last.saturating_since(SimTime::ZERO),
         };
-        acc.finish(duration)
+        SegmentRun {
+            report: acc.finish(duration),
+            consumed,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::Strategy;
     use e3_hardware::{ClusterSpec, GpuKind};
     use e3_model::{zoo, RampStyle};
     use e3_optimizer::{optimize_homogeneous, OptimizerConfig};
     use e3_simcore::SeedSplitter;
     use e3_workload::{ArrivalProcess, DatasetModel, WorkloadGenerator};
-    use crate::strategy::Strategy;
 
     fn requests_closed(n: usize, ds: &DatasetModel, seed: u64) -> Vec<Request> {
         let g = WorkloadGenerator::new(
@@ -536,22 +623,26 @@ mod tests {
                 .position(|(_, e)| pred(e))
                 .map(|i| from + i)
         };
-        let arrival = pos(0, &|e| {
-            matches!(e, KernelEvent::Arrival { sample } if *sample == id)
-        })
+        let arrival = pos(
+            0,
+            &|e| matches!(e, KernelEvent::Arrival { sample } if *sample == id),
+        )
         .expect("arrival");
-        let completion = pos(arrival, &|e| {
-            matches!(e, KernelEvent::Completion { sample, .. } if *sample == id)
-        })
+        let completion = pos(
+            arrival,
+            &|e| matches!(e, KernelEvent::Completion { sample, .. } if *sample == id),
+        )
         .expect("completion");
-        let batch = pos(arrival, &|e| matches!(e, KernelEvent::BatchFormed { .. }))
-            .expect("batch formed");
+        let batch =
+            pos(arrival, &|e| matches!(e, KernelEvent::BatchFormed { .. })).expect("batch formed");
         let exec_start =
             pos(batch, &|e| matches!(e, KernelEvent::ExecStart { .. })).expect("exec start");
         let exec_done =
             pos(exec_start, &|e| matches!(e, KernelEvent::ExecDone { .. })).expect("exec done");
         assert!(
-            arrival < batch && batch < exec_start && exec_start < exec_done
+            arrival < batch
+                && batch < exec_start
+                && exec_start < exec_done
                 && exec_done < completion,
             "lifecycle out of order: {arrival} {batch} {exec_start} {exec_done} {completion}"
         );

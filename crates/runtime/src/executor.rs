@@ -121,7 +121,17 @@ mod tests {
     fn full_batch_full_model_anchor() {
         let (m, c, lm) = setup();
         let batch: Vec<SimSample> = (0..8).map(|_| sample(12)).collect();
-        let out = execute_batch(&m, &c, &lm, &ExitOverheads::default(), GpuKind::V100, 0..12, &batch, false, 1.0);
+        let out = execute_batch(
+            &m,
+            &c,
+            &lm,
+            &ExitOverheads::default(),
+            GpuKind::V100,
+            0..12,
+            &batch,
+            false,
+            1.0,
+        );
         // BERT at b=8 is ~19.7ms; DeeBERT adds 11 ramp checks plus the
         // per-ramp sync/compaction overheads of acting on them.
         let ms = out.duration.as_millis_f64();
@@ -138,8 +148,28 @@ mod tests {
         // Six of eight exit after layer 3.
         let mut shrink = vec![sample(4); 6];
         shrink.extend(vec![sample(12); 2]);
-        let a = execute_batch(&m, &c, &lm, &ExitOverheads::default(), GpuKind::V100, 0..12, &full, false, 1.0);
-        let b = execute_batch(&m, &c, &lm, &ExitOverheads::default(), GpuKind::V100, 0..12, &shrink, false, 1.0);
+        let a = execute_batch(
+            &m,
+            &c,
+            &lm,
+            &ExitOverheads::default(),
+            GpuKind::V100,
+            0..12,
+            &full,
+            false,
+            1.0,
+        );
+        let b = execute_batch(
+            &m,
+            &c,
+            &lm,
+            &ExitOverheads::default(),
+            GpuKind::V100,
+            0..12,
+            &shrink,
+            false,
+            1.0,
+        );
         assert!(b.duration < a.duration);
         assert!(b.mean_occupancy < a.mean_occupancy);
     }
@@ -148,7 +178,17 @@ mod tests {
     fn everyone_exits_before_stage_costs_nothing() {
         let (m, c, lm) = setup();
         let batch = vec![sample(3); 4];
-        let out = execute_batch(&m, &c, &lm, &ExitOverheads::default(), GpuKind::V100, 6..12, &batch, false, 1.0);
+        let out = execute_batch(
+            &m,
+            &c,
+            &lm,
+            &ExitOverheads::default(),
+            GpuKind::V100,
+            6..12,
+            &batch,
+            false,
+            1.0,
+        );
         assert!(out.duration.is_zero());
     }
 
@@ -156,8 +196,28 @@ mod tests {
     fn slowdown_scales_duration() {
         let (m, c, lm) = setup();
         let batch = vec![sample(12); 4];
-        let fast = execute_batch(&m, &c, &lm, &ExitOverheads::default(), GpuKind::V100, 0..12, &batch, false, 1.0);
-        let slow = execute_batch(&m, &c, &lm, &ExitOverheads::default(), GpuKind::V100, 0..12, &batch, false, 2.0);
+        let fast = execute_batch(
+            &m,
+            &c,
+            &lm,
+            &ExitOverheads::default(),
+            GpuKind::V100,
+            0..12,
+            &batch,
+            false,
+            1.0,
+        );
+        let slow = execute_batch(
+            &m,
+            &c,
+            &lm,
+            &ExitOverheads::default(),
+            GpuKind::V100,
+            0..12,
+            &batch,
+            false,
+            2.0,
+        );
         let ratio = slow.duration.as_secs_f64() / fast.duration.as_secs_f64();
         assert!((ratio - 2.0).abs() < 1e-9);
     }
@@ -168,9 +228,29 @@ mod tests {
         let c0 = RampController::all_enabled(0, RampStyle::Independent);
         let lm = LatencyModel::new();
         let batch = vec![sample(12); 8];
-        let stock_t = execute_batch(&stock, &c0, &lm, &ExitOverheads::default(), GpuKind::V100, 0..12, &batch, false, 1.0);
+        let stock_t = execute_batch(
+            &stock,
+            &c0,
+            &lm,
+            &ExitOverheads::default(),
+            GpuKind::V100,
+            0..12,
+            &batch,
+            false,
+            1.0,
+        );
         let (ee, c, _) = setup();
-        let ee_t = execute_batch(&ee, &c, &lm, &ExitOverheads::default(), GpuKind::V100, 0..12, &batch, false, 1.0);
+        let ee_t = execute_batch(
+            &ee,
+            &c,
+            &lm,
+            &ExitOverheads::default(),
+            GpuKind::V100,
+            0..12,
+            &batch,
+            false,
+            1.0,
+        );
         assert!(ee_t.duration > stock_t.duration, "ramps must cost time");
     }
 }

@@ -29,6 +29,10 @@ pub struct RunAccumulator {
     stragglers_detected: Vec<usize>,
     last_completion: SimTime,
     peak_queue_depth: Vec<usize>,
+    peak_replica_queue_depth: Vec<usize>,
+    shed: u64,
+    transfer_retries: u64,
+    transfer_aborts: u64,
     excluded_since: Vec<Option<SimTime>>,
     excluded_total: Vec<SimDuration>,
     excluded_now: usize,
@@ -50,7 +54,9 @@ impl RunAccumulator {
             slo,
             record_exit_events,
             latency: DurationHistogram::new(),
-            util: (0..num_replicas).map(|_| UtilizationTracker::new()).collect(),
+            util: (0..num_replicas)
+                .map(|_| UtilizationTracker::new())
+                .collect(),
             completed: 0,
             within_slo: 0,
             dropped: 0,
@@ -61,6 +67,10 @@ impl RunAccumulator {
             stragglers_detected: Vec::new(),
             last_completion: SimTime::ZERO,
             peak_queue_depth: vec![0; num_stages],
+            peak_replica_queue_depth: vec![0; num_replicas],
+            shed: 0,
+            transfer_retries: 0,
+            transfer_aborts: 0,
             excluded_since: vec![None; num_replicas],
             excluded_total: vec![SimDuration::ZERO; num_replicas],
             excluded_now: 0,
@@ -91,6 +101,33 @@ impl RunAccumulator {
         if depth > self.peak_queue_depth[stage] {
             self.peak_queue_depth[stage] = depth;
         }
+    }
+
+    /// Updates the running queue-depth peak for replica `rid` (queued
+    /// batches, excluding the one executing).
+    pub fn observe_replica_queue_depth(&mut self, rid: usize, depth: usize) {
+        if depth > self.peak_replica_queue_depth[rid] {
+            self.peak_replica_queue_depth[rid] = depth;
+        }
+    }
+
+    /// Records `n` samples shed at routing time by the per-replica queue
+    /// bound. Shed samples also count as drops.
+    pub fn record_shed(&mut self, n: usize) {
+        self.shed += n as u64;
+        self.dropped += n as u64;
+    }
+
+    /// Records one transfer retry scheduled while a link was down.
+    pub fn record_transfer_retry(&mut self) {
+        self.transfer_retries += 1;
+    }
+
+    /// Records a transfer abort that dropped `n` samples after the retry
+    /// budget ran out.
+    pub fn record_transfer_abort(&mut self, n: usize) {
+        self.transfer_aborts += 1;
+        self.dropped += n as u64;
     }
 
     /// Records a replica flagged as a straggler.
@@ -205,10 +242,14 @@ impl RunAccumulator {
             slo: self.slo,
             stragglers_detected: self.stragglers_detected,
             peak_queue_depth: self.peak_queue_depth,
+            peak_replica_queue_depth: self.peak_replica_queue_depth,
             replica_availability,
             faults_injected: self.faults_injected,
             degraded_completed: self.degraded_completed,
             degraded_within_slo: self.degraded_within_slo,
+            shed: self.shed,
+            transfer_retries: self.transfer_retries,
+            transfer_aborts: self.transfer_aborts,
         }
     }
 }

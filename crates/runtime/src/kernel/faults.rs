@@ -19,7 +19,11 @@
 //!   during the window (an interconnect or driver hiccup); queued batches
 //!   wait and dispatch resumes when the stall lifts;
 //! * [`FaultEvent::DelayedRecovery`] — a crashed (or straggler-excluded)
-//!   replica rejoins with fresh service statistics.
+//!   replica rejoins with fresh service statistics;
+//! * [`FaultEvent::LinkDown`] — the interconnect out of a stage drops
+//!   transfers over a time window; the kernel retries them with
+//!   exponential backoff and aborts (dropping the samples) when the
+//!   retry budget runs out.
 
 use e3_simcore::SimTime;
 
@@ -67,6 +71,18 @@ pub enum FaultEvent {
         /// Recovery instant.
         at: SimTime,
     },
+    /// Transfers out of `from_stage` fail between `from` and `until`:
+    /// each affected transfer is retried with exponential backoff (see
+    /// [`crate::engine::ServingConfig::transfer_retry`]) and dropped when
+    /// the budget is exhausted.
+    LinkDown {
+        /// Sending stage whose outbound link is down.
+        from_stage: usize,
+        /// Outage onset.
+        from: SimTime,
+        /// Outage end.
+        until: SimTime,
+    },
 }
 
 impl FaultEvent {
@@ -76,7 +92,7 @@ impl FaultEvent {
             FaultEvent::ReplicaCrash { replica, .. }
             | FaultEvent::TransientSlowdown { replica, .. }
             | FaultEvent::DelayedRecovery { replica, .. } => Some(*replica),
-            FaultEvent::StageStall { .. } => None,
+            FaultEvent::StageStall { .. } | FaultEvent::LinkDown { .. } => None,
         }
     }
 
@@ -84,6 +100,7 @@ impl FaultEvent {
     pub fn stage(&self) -> Option<usize> {
         match self {
             FaultEvent::StageStall { stage, .. } => Some(*stage),
+            FaultEvent::LinkDown { from_stage, .. } => Some(*from_stage),
             _ => None,
         }
     }
@@ -92,9 +109,9 @@ impl FaultEvent {
     pub fn starts_at(&self) -> SimTime {
         match self {
             FaultEvent::ReplicaCrash { at, .. } | FaultEvent::DelayedRecovery { at, .. } => *at,
-            FaultEvent::TransientSlowdown { from, .. } | FaultEvent::StageStall { from, .. } => {
-                *from
-            }
+            FaultEvent::TransientSlowdown { from, .. }
+            | FaultEvent::StageStall { from, .. }
+            | FaultEvent::LinkDown { from, .. } => *from,
         }
     }
 }
@@ -140,13 +157,26 @@ impl FaultPlan {
 
     /// Schedules a dispatch stall of `stage` over `[from, until)`.
     pub fn stall(mut self, stage: usize, from: SimTime, until: SimTime) -> Self {
-        self.events.push(FaultEvent::StageStall { stage, from, until });
+        self.events
+            .push(FaultEvent::StageStall { stage, from, until });
         self
     }
 
     /// Schedules a recovery of `replica` at `at`.
     pub fn recover(mut self, replica: usize, at: SimTime) -> Self {
-        self.events.push(FaultEvent::DelayedRecovery { replica, at });
+        self.events
+            .push(FaultEvent::DelayedRecovery { replica, at });
+        self
+    }
+
+    /// Schedules an outage of the link out of `from_stage` over
+    /// `[from, until)`.
+    pub fn link_down(mut self, from_stage: usize, from: SimTime, until: SimTime) -> Self {
+        self.events.push(FaultEvent::LinkDown {
+            from_stage,
+            from,
+            until,
+        });
         self
     }
 
@@ -208,13 +238,27 @@ impl FaultPlan {
             }
             match e {
                 FaultEvent::TransientSlowdown {
-                    factor, from, until, ..
+                    factor,
+                    from,
+                    until,
+                    ..
                 } => {
                     assert!(*factor > 0.0, "slowdown factor must be positive");
                     assert!(until >= from, "slowdown window ends before it starts");
                 }
                 FaultEvent::StageStall { from, until, .. } => {
                     assert!(until >= from, "stall window ends before it starts");
+                }
+                FaultEvent::LinkDown {
+                    from_stage,
+                    from,
+                    until,
+                } => {
+                    assert!(
+                        from_stage + 1 < num_stages,
+                        "link-down fault targets stage {from_stage}, which has no outbound link"
+                    );
+                    assert!(until >= from, "link-down window ends before it starts");
                 }
                 _ => {}
             }
@@ -290,6 +334,23 @@ mod tests {
     #[test]
     #[should_panic(expected = "factor must be positive")]
     fn validate_rejects_nonpositive_factor() {
-        FaultPlan::new().slowdown(0, 0.0, ms(1), ms(2)).validate(1, 1);
+        FaultPlan::new()
+            .slowdown(0, 0.0, ms(1), ms(2))
+            .validate(1, 1);
+    }
+
+    #[test]
+    fn link_down_is_stage_scoped() {
+        let plan = FaultPlan::new().link_down(0, ms(5), ms(25));
+        assert_eq!(plan.events()[0].stage(), Some(0));
+        assert_eq!(plan.events()[0].replica(), None);
+        assert_eq!(plan.events()[0].starts_at(), ms(5));
+        plan.validate(4, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no outbound link")]
+    fn validate_rejects_link_down_on_last_stage() {
+        FaultPlan::new().link_down(1, ms(1), ms(2)).validate(4, 2);
     }
 }

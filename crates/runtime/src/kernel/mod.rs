@@ -28,10 +28,10 @@ mod policy;
 
 pub use accounting::RunAccumulator;
 pub use faults::{ExclusionReason, FaultEvent, FaultPlan};
-pub use observer::{EventLog, KernelEvent, NullObserver, RunObserver};
+pub use observer::{EventLog, KernelEvent, NullObserver, OffsetObserver, RunObserver};
 pub use policy::{
-    AdmissionPolicy, AdmitAll, BatchingPolicy, FusionBatching, NoStragglerDetection, ReplicaPerf,
-    RelativeSlowdown, SloSlackAdmission, StaticBatching, StragglerPolicy,
+    AdmissionPolicy, AdmitAll, BatchingPolicy, FusionBatching, NoStragglerDetection,
+    RelativeSlowdown, ReplicaPerf, SloSlackAdmission, StaticBatching, StragglerPolicy,
 };
 
 use std::collections::VecDeque;
@@ -57,10 +57,23 @@ pub struct KernelPolicies<'p> {
 #[derive(Debug, Clone)]
 enum Ev {
     Arrival(usize),
-    ExecDone { replica: usize, epoch: u32 },
-    BatchReady { stage: usize, batch: Batch },
-    Flush { stage: usize },
+    ExecDone {
+        replica: usize,
+        epoch: u32,
+    },
+    BatchReady {
+        stage: usize,
+        batch: Batch,
+    },
+    Flush {
+        stage: usize,
+    },
     Fault(FaultAction),
+    TransferRetry {
+        from_stage: usize,
+        batch: Batch,
+        attempt: u32,
+    },
 }
 
 /// A fault-plan entry materialized on the event queue. `Apply` fires at a
@@ -70,6 +83,7 @@ enum FaultAction {
     Apply(FaultEvent),
     ExpireSlowdown { replica: usize, factor: f64 },
     ExpireStall { stage: usize },
+    ExpireLink { from_stage: usize },
 }
 
 struct Replica {
@@ -116,6 +130,13 @@ pub(crate) struct Kernel<'a, 'p> {
     /// Per-stage count of active [`FaultEvent::StageStall`] windows; no
     /// batch may begin on a stage while its count is positive.
     stalled: Vec<u32>,
+    /// Per-stage count of active [`FaultEvent::LinkDown`] windows on the
+    /// stage's outbound link; transfers retry with backoff while positive.
+    link_down: Vec<u32>,
+    /// Backlog entries ingested by this run (closed loop: pulled; open
+    /// loop: arrival scheduled before `drain_at`). The engine reports it
+    /// so segmented windows know where the next segment resumes.
+    consumed: usize,
     acc: RunAccumulator,
 }
 
@@ -172,6 +193,8 @@ impl<'a, 'p> Kernel<'a, 'p> {
             in_flight: 0,
             in_flight_cap: (5 * num_replicas * sim.stages[0].target_batch).div_ceil(4),
             stalled: vec![0; num_stages],
+            link_down: vec![0; num_stages],
+            consumed: 0,
             acc: RunAccumulator::new(
                 num_stages,
                 num_replicas,
@@ -181,8 +204,11 @@ impl<'a, 'p> Kernel<'a, 'p> {
         }
     }
 
-    /// Drains the event queue; returns the filled accumulator.
-    pub(crate) fn run(mut self) -> RunAccumulator {
+    /// Drains the event queue; returns the filled accumulator and the
+    /// number of backlog entries the run ingested (always the full
+    /// backlog unless [`crate::engine::ServingConfig::drain_at`] cut the
+    /// segment short).
+    pub(crate) fn run(mut self) -> (RunAccumulator, usize) {
         // Fault actions go on the queue first: at equal timestamps the
         // stable FIFO tie-break then applies a fault before any arrival
         // scheduled at the same instant, independent of plan contents.
@@ -193,9 +219,16 @@ impl<'a, 'p> Kernel<'a, 'p> {
                 self.feed_closed_loop(r);
             }
         } else {
+            // Open loop: arrivals at or past the drain point stay in the
+            // backlog for the next segment (arrivals are time-sorted, so
+            // the ingested set is a prefix).
             for i in 0..self.backlog.len() {
                 let at = self.backlog[i].arrival;
+                if self.sim.cfg.drain_at.is_some_and(|d| at >= d) {
+                    continue;
+                }
                 self.q.schedule(at, Ev::Arrival(i));
+                self.consumed += 1;
             }
         }
         while let Some(ev) = self.q.pop() {
@@ -205,9 +238,17 @@ impl<'a, 'p> Kernel<'a, 'p> {
                 Ev::BatchReady { stage, batch } => self.on_batch_ready(stage, batch),
                 Ev::Flush { stage } => self.on_flush(stage),
                 Ev::Fault(action) => self.on_fault(action),
+                Ev::TransferRetry {
+                    from_stage,
+                    batch,
+                    attempt,
+                } => self.on_transfer_retry(from_stage, batch, attempt),
             }
         }
-        self.acc
+        if self.sim.cfg.closed_loop {
+            self.consumed = self.backlog_cursor;
+        }
+        (self.acc, self.consumed)
     }
 
     /// Materializes the configured [`FaultPlan`] onto the event queue.
@@ -230,6 +271,12 @@ impl<'a, 'p> Kernel<'a, 'p> {
                 FaultEvent::StageStall { stage, until, .. } => {
                     self.q
                         .schedule(until, Ev::Fault(FaultAction::ExpireStall { stage }));
+                }
+                FaultEvent::LinkDown {
+                    from_stage, until, ..
+                } => {
+                    self.q
+                        .schedule(until, Ev::Fault(FaultAction::ExpireLink { from_stage }));
                 }
                 _ => {}
             }
@@ -308,9 +355,12 @@ impl<'a, 'p> Kernel<'a, 'p> {
         self.arm_flush(stage);
     }
 
-    /// Routes a batch to the least-loaded, non-excluded replica.
+    /// Routes a batch to the least-loaded, non-excluded replica. With a
+    /// configured [`crate::engine::ServingConfig::queue_cap`], a batch
+    /// that would push even the least-loaded candidate past the bound is
+    /// shed instead — admission absorbs overload as drops rather than
+    /// letting queues grow without limit.
     fn route(&mut self, stage: usize, batch: Batch) {
-        self.acc.record_dispatch(stage, batch.len() as f64);
         let rid = self.stage_replicas[stage]
             .iter()
             .copied()
@@ -322,13 +372,46 @@ impl<'a, 'p> Kernel<'a, 'p> {
                 )
             })
             .unwrap_or(self.stage_replicas[stage][0]); // all excluded: fall back
+        if let Some(cap) = self.sim.cfg.queue_cap {
+            if self.replicas[rid].queue.len() >= cap {
+                self.shed_batch(stage, batch);
+                return;
+            }
+        }
+        self.acc.record_dispatch(stage, batch.len() as f64);
         self.replicas[rid].queue.push_back(batch);
+        self.acc
+            .observe_replica_queue_depth(rid, self.replicas[rid].queue.len());
         let depth: usize = self.stage_replicas[stage]
             .iter()
             .map(|&r| self.replicas[r].queue.len())
             .sum();
         self.acc.observe_queue_depth(stage, depth);
         self.try_begin(rid);
+    }
+
+    /// Drops a whole batch at routing time (queue bound reached).
+    fn shed_batch(&mut self, stage: usize, batch: Batch) {
+        let now = self.now();
+        self.acc.record_shed(batch.len());
+        self.observer.on_event(
+            now,
+            &KernelEvent::BatchShed {
+                stage,
+                size: batch.len(),
+            },
+        );
+        for s in batch.samples {
+            self.in_flight = self.in_flight.saturating_sub(1);
+            self.observer.on_event(
+                now,
+                &KernelEvent::Dropped {
+                    sample: s.id,
+                    stage,
+                },
+            );
+        }
+        self.wake_feeders();
     }
 
     /// Starts the replica on its next queued batch, if idle. Crashed
@@ -390,6 +473,9 @@ impl<'a, 'p> Kernel<'a, 'p> {
         }
         if self.stalled[0] > 0 {
             return; // stage stalled: nothing dispatches until it lifts
+        }
+        if self.sim.cfg.drain_at.is_some_and(|d| self.now() >= d) {
+            return; // draining: in-flight work finishes, nothing new starts
         }
         let target = self.sim.stages[0].target_batch;
         if self.backlog_cursor >= self.backlog.len() {
@@ -512,26 +598,7 @@ impl<'a, 'p> Kernel<'a, 'p> {
             }
         }
         if !survivors.is_empty() {
-            let next = stage + 1;
-            assert!(next < self.sim.stages.len(), "survivors past the last stage");
-            let bytes = self.sim.model.boundary_bytes(stage_end - 1);
-            let tx = self
-                .sim
-                .tm
-                .batch_transfer_time(bytes, survivors.len() as f64);
-            self.observer.on_event(
-                now,
-                &KernelEvent::StageTransfer {
-                    from_stage: stage,
-                    to_stage: next,
-                    size: survivors.len(),
-                },
-            );
-            let b = Batch {
-                samples: survivors,
-                formed_at: now,
-            };
-            self.q.schedule_after(tx, Ev::BatchReady { stage: next, batch: b });
+            self.send_downstream(stage, survivors, now);
         }
 
         if self.policies.straggler.enabled() {
@@ -540,6 +607,128 @@ impl<'a, 'p> Kernel<'a, 'p> {
         self.try_begin(rid);
         // Completions may have released backpressure: wake idle stage-0
         // feeders.
+        self.wake_feeders();
+    }
+
+    /// Hands survivors of `from_stage` to the interconnect. A healthy
+    /// link schedules the fused batch at the next stage after the
+    /// transfer time; a downed link ([`FaultEvent::LinkDown`]) parks the
+    /// batch on a backed-off retry timer instead.
+    fn send_downstream(&mut self, from_stage: usize, survivors: Vec<SimSample>, now: SimTime) {
+        let next = from_stage + 1;
+        assert!(
+            next < self.sim.stages.len(),
+            "survivors past the last stage"
+        );
+        if self.link_down[from_stage] > 0 {
+            let retry = self.sim.cfg.transfer_retry;
+            self.acc.record_transfer_retry();
+            self.observer.on_event(
+                now,
+                &KernelEvent::TransferRetried {
+                    from_stage,
+                    attempt: 1,
+                    size: survivors.len(),
+                },
+            );
+            let batch = Batch {
+                samples: survivors,
+                formed_at: now,
+            };
+            self.q.schedule_after(
+                retry.base_backoff,
+                Ev::TransferRetry {
+                    from_stage,
+                    batch,
+                    attempt: 1,
+                },
+            );
+            return;
+        }
+        let stage_end = self.sim.stages[from_stage].layers.end;
+        let bytes = self.sim.model.boundary_bytes(stage_end - 1);
+        let tx = self
+            .sim
+            .tm
+            .batch_transfer_time(bytes, survivors.len() as f64);
+        self.observer.on_event(
+            now,
+            &KernelEvent::StageTransfer {
+                from_stage,
+                to_stage: next,
+                size: survivors.len(),
+            },
+        );
+        let b = Batch {
+            samples: survivors,
+            formed_at: now,
+        };
+        self.q.schedule_after(
+            tx,
+            Ev::BatchReady {
+                stage: next,
+                batch: b,
+            },
+        );
+    }
+
+    /// A parked transfer's retry timer fired: send if the link is back,
+    /// back off again if not, abort (dropping the samples) once the
+    /// retry budget is spent.
+    fn on_transfer_retry(&mut self, from_stage: usize, batch: Batch, attempt: u32) {
+        let now = self.now();
+        let retry = self.sim.cfg.transfer_retry;
+        if self.link_down[from_stage] == 0 {
+            self.send_downstream(from_stage, batch.samples, now);
+            return;
+        }
+        if attempt >= retry.max_attempts {
+            self.acc.record_transfer_abort(batch.len());
+            self.observer.on_event(
+                now,
+                &KernelEvent::TransferAborted {
+                    from_stage,
+                    size: batch.len(),
+                },
+            );
+            for s in batch.samples {
+                self.in_flight = self.in_flight.saturating_sub(1);
+                self.observer.on_event(
+                    now,
+                    &KernelEvent::Dropped {
+                        sample: s.id,
+                        stage: from_stage,
+                    },
+                );
+            }
+            self.wake_feeders();
+            return;
+        }
+        let next_attempt = attempt + 1;
+        self.acc.record_transfer_retry();
+        self.observer.on_event(
+            now,
+            &KernelEvent::TransferRetried {
+                from_stage,
+                attempt: next_attempt,
+                size: batch.len(),
+            },
+        );
+        // Exponential backoff: attempt k waits base * 2^(k-1).
+        let backoff = retry.base_backoff * (1u64 << attempt.min(20));
+        self.q.schedule_after(
+            backoff,
+            Ev::TransferRetry {
+                from_stage,
+                batch,
+                attempt: next_attempt,
+            },
+        );
+    }
+
+    /// Wakes idle closed-loop stage-0 feeders (drops or completions may
+    /// have released backpressure). A no-op in open loop.
+    fn wake_feeders(&mut self) {
         if self.sim.cfg.closed_loop {
             let feeders = self.stage_replicas[0].clone();
             for r in feeders {
@@ -618,6 +807,9 @@ impl<'a, 'p> Kernel<'a, 'p> {
                         self.stalled[stage] += 1;
                     }
                     FaultEvent::DelayedRecovery { replica, .. } => self.recover_replica(replica),
+                    FaultEvent::LinkDown { from_stage, .. } => {
+                        self.link_down[from_stage] += 1;
+                    }
                 }
             }
             FaultAction::ExpireSlowdown { replica, factor } => {
@@ -636,6 +828,11 @@ impl<'a, 'p> Kernel<'a, 'p> {
                         self.try_begin(rid);
                     }
                 }
+            }
+            FaultAction::ExpireLink { from_stage } => {
+                // Parked transfers notice on their next retry timer; no
+                // proactive kick keeps the retry cadence deterministic.
+                self.link_down[from_stage] = self.link_down[from_stage].saturating_sub(1);
             }
         }
     }

@@ -101,6 +101,50 @@ pub enum KernelEvent {
         /// Global replica id.
         replica: usize,
     },
+    /// A batch was shed at routing time because every candidate replica's
+    /// queue was at the configured bound (backpressure).
+    BatchShed {
+        /// Stage whose queues were full.
+        stage: usize,
+        /// Samples shed.
+        size: usize,
+    },
+    /// A stage transfer found the link down and was scheduled for a
+    /// backed-off retry.
+    TransferRetried {
+        /// Sending stage.
+        from_stage: usize,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+        /// Samples waiting on the transfer.
+        size: usize,
+    },
+    /// A stage transfer exhausted its retry budget; its samples were
+    /// dropped.
+    TransferAborted {
+        /// Sending stage.
+        from_stage: usize,
+        /// Samples dropped with the transfer.
+        size: usize,
+    },
+    /// The control loop began a guarded plan transition: the incumbent
+    /// plan drained and a canary of the candidate plan started.
+    ReconfigStarted {
+        /// Reconfiguration epoch (monotone per control loop).
+        epoch: u32,
+    },
+    /// The canary beat (or matched) the incumbent: the candidate plan was
+    /// promoted for the rest of the window.
+    CanaryPromoted {
+        /// Reconfiguration epoch.
+        epoch: u32,
+    },
+    /// The canary regressed against the incumbent: the candidate was
+    /// discarded and the incumbent plan restored.
+    RolledBack {
+        /// Reconfiguration epoch.
+        epoch: u32,
+    },
 }
 
 /// Receives the kernel's event stream.
@@ -116,6 +160,32 @@ pub struct NullObserver;
 
 impl RunObserver for NullObserver {
     fn on_event(&mut self, _now: SimTime, _event: &KernelEvent) {}
+}
+
+/// Re-bases event timestamps onto a global clock.
+///
+/// Kernel runs start at `SimTime::ZERO`. When one logical window is
+/// served as several consecutive kernel runs (guarded reconfiguration's
+/// probe / canary / remainder segments), wrapping the downstream observer
+/// in an `OffsetObserver` per segment keeps the merged stream on one
+/// monotone clock.
+pub struct OffsetObserver<'a> {
+    base: SimTime,
+    inner: &'a mut dyn RunObserver,
+}
+
+impl<'a> OffsetObserver<'a> {
+    /// Forwards to `inner`, shifting every timestamp forward by `base`.
+    pub fn new(base: SimTime, inner: &'a mut dyn RunObserver) -> Self {
+        OffsetObserver { base, inner }
+    }
+}
+
+impl RunObserver for OffsetObserver<'_> {
+    fn on_event(&mut self, now: SimTime, event: &KernelEvent) {
+        let shifted = self.base + now.saturating_since(SimTime::ZERO);
+        self.inner.on_event(shifted, event);
+    }
 }
 
 /// Records the full timestamped event stream (tests, tracing).
@@ -186,6 +256,9 @@ mod tests {
         );
         assert_eq!(log.events.len(), 3);
         assert_eq!(log.for_sample(7).len(), 2);
-        assert_eq!(log.count(|e| matches!(e, KernelEvent::BatchFormed { .. })), 1);
+        assert_eq!(
+            log.count(|e| matches!(e, KernelEvent::BatchFormed { .. })),
+            1
+        );
     }
 }

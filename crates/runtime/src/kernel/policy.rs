@@ -370,7 +370,10 @@ mod tests {
             vec![SimDuration::from_millis(10)],
         );
         let s = sample(0);
-        assert!(p.admit(SimTime::ZERO, 0, &s), "zero slack is still feasible");
+        assert!(
+            p.admit(SimTime::ZERO, 0, &s),
+            "zero slack is still feasible"
+        );
         assert!(
             !p.admit(SimTime::from_nanos(1), 0, &s),
             "any delay past zero slack must drop"
@@ -433,7 +436,10 @@ mod tests {
             &stages,
             slo,
         );
-        assert!(p.est_remaining(0) > p.est_remaining(1), "no downstream cost");
+        assert!(
+            p.est_remaining(0) > p.est_remaining(1),
+            "no downstream cost"
+        );
         assert!(p.est_remaining(1) > SimDuration::ZERO);
         assert!(p.est_remaining(0) < slo, "SLO infeasible for this test");
         // Slack exactly equal to the remaining estimate: still admitted;

@@ -55,10 +55,10 @@ pub mod sample;
 pub mod serial;
 pub mod strategy;
 
-pub use engine::{ServingConfig, ServingSim};
+pub use engine::{SegmentRun, ServingConfig, ServingSim, TransferRetryConfig};
 pub use kernel::{
     AdmissionPolicy, BatchingPolicy, ExclusionReason, FaultEvent, FaultPlan, KernelEvent,
-    KernelPolicies, RunObserver, StragglerPolicy,
+    KernelPolicies, OffsetObserver, RunObserver, StragglerPolicy,
 };
 pub use report::RunReport;
 pub use strategy::Strategy;

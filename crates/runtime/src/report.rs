@@ -45,6 +45,10 @@ pub struct RunReport {
     /// bounded by the engine's backpressure; useful for diagnosing
     /// mis-balanced plans.
     pub peak_queue_depth: Vec<usize>,
+    /// Peak queued batches per replica (excluding the batch executing) —
+    /// stays at or under [`crate::engine::ServingConfig::queue_cap`] when
+    /// one is set.
+    pub peak_replica_queue_depth: Vec<usize>,
     /// Fraction of the run each replica spent available for assignment
     /// (1.0 = never excluded; crashes and straggler exclusions count
     /// against it until recovery).
@@ -55,9 +59,70 @@ pub struct RunReport {
     pub degraded_completed: u64,
     /// SLO-compliant completions recorded while degraded.
     pub degraded_within_slo: u64,
+    /// Samples shed at routing time by the per-replica queue bound
+    /// (a subset of `dropped`).
+    pub shed: u64,
+    /// Stage transfers re-scheduled because the outbound link was down.
+    pub transfer_retries: u64,
+    /// Stage transfers aborted after exhausting the retry budget (their
+    /// samples count under `dropped`).
+    pub transfer_aborts: u64,
 }
 
 impl RunReport {
+    /// Merges consecutive serving segments of one logical window into a
+    /// single report — the guarded-reconfiguration path serves a window
+    /// as probe / canary / remainder kernel runs and reports them as one.
+    ///
+    /// Counters (`completed`, `within_slo`, `dropped`, `correct`,
+    /// `faults_injected`, degraded counts, `shed`, transfer retry/abort
+    /// counts) sum; durations sum; latency histograms merge; exit-event
+    /// timestamps are re-based onto the cumulative clock; straggler lists
+    /// concatenate. Shape-dependent per-replica and per-stage vectors
+    /// (`replica_util`, `mean_dispatch_batch`, `peak_queue_depth`,
+    /// `peak_replica_queue_depth`, `replica_availability`) are taken from
+    /// the **last** segment — the plan that finished the window — since
+    /// segments may run different stage layouts and their indices are not
+    /// comparable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty segment list.
+    pub fn concat(segments: Vec<RunReport>) -> RunReport {
+        assert!(!segments.is_empty(), "cannot concat zero segments");
+        let mut it = segments.into_iter();
+        let mut merged = it.next().expect("nonempty");
+        for seg in it {
+            let base = merged.duration;
+            merged.completed += seg.completed;
+            merged.within_slo += seg.within_slo;
+            merged.dropped += seg.dropped;
+            merged.correct += seg.correct;
+            merged.faults_injected += seg.faults_injected;
+            merged.degraded_completed += seg.degraded_completed;
+            merged.degraded_within_slo += seg.degraded_within_slo;
+            merged.shed += seg.shed;
+            merged.transfer_retries += seg.transfer_retries;
+            merged.transfer_aborts += seg.transfer_aborts;
+            merged.latency.merge(&seg.latency);
+            merged
+                .exit_events
+                .extend(seg.exit_events.into_iter().map(|e| ExitEvent {
+                    at: e.at + base,
+                    ..e
+                }));
+            merged.stragglers_detected.extend(seg.stragglers_detected);
+            merged.duration += seg.duration;
+            merged.slo = seg.slo;
+            merged.replica_util = seg.replica_util;
+            merged.mean_dispatch_batch = seg.mean_dispatch_batch;
+            merged.peak_queue_depth = seg.peak_queue_depth;
+            merged.peak_replica_queue_depth = seg.peak_replica_queue_depth;
+            merged.replica_availability = seg.replica_availability;
+        }
+        merged
+    }
+
     /// Goodput: SLO-compliant completions per second.
     pub fn goodput(&self) -> f64 {
         if self.duration.is_zero() {
@@ -144,8 +209,7 @@ impl RunReport {
         if self.degraded_completed == 0 {
             return 0.0;
         }
-        (self.degraded_completed - self.degraded_within_slo) as f64
-            / self.degraded_completed as f64
+        (self.degraded_completed - self.degraded_within_slo) as f64 / self.degraded_completed as f64
     }
 
     /// Mean executed layers over completed requests.
@@ -193,10 +257,14 @@ mod tests {
             slo: SimDuration::from_millis(20),
             stragglers_detected: vec![],
             peak_queue_depth: vec![1],
+            peak_replica_queue_depth: vec![1],
             replica_availability: vec![1.0],
             faults_injected: 0,
             degraded_completed: 0,
             degraded_within_slo: 0,
+            shed: 0,
+            transfer_retries: 0,
+            transfer_aborts: 0,
         }
     }
 
@@ -211,6 +279,37 @@ mod tests {
         assert_eq!(r.mean_availability(), 1.0);
         assert_eq!(r.degraded_goodput(), 0.0);
         assert_eq!(r.degraded_violation_rate(), 0.0);
+    }
+
+    #[test]
+    fn concat_merges_segments_on_one_clock() {
+        let a = report(); // 2 s, 2 completed, exit events at 10 ms / 30 ms
+        let mut b = report();
+        b.duration = SimDuration::from_secs(1);
+        b.within_slo = 2;
+        b.shed = 3;
+        b.peak_replica_queue_depth = vec![4];
+        let m = RunReport::concat(vec![a, b]);
+        assert_eq!(m.duration, SimDuration::from_secs(3));
+        assert_eq!(m.completed, 4);
+        assert_eq!(m.within_slo, 3);
+        assert_eq!(m.dropped, 4);
+        assert_eq!(m.shed, 3);
+        assert_eq!(m.latency.samples_ms().len(), 4);
+        // Second segment's exit events are re-based past the first's end.
+        assert_eq!(m.exit_events.len(), 4);
+        assert_eq!(m.exit_events[2].at, SimTime::from_millis(2010));
+        assert!(m.exit_events.windows(2).all(|w| w[0].at <= w[1].at));
+        // Shape vectors come from the last segment.
+        assert_eq!(m.peak_replica_queue_depth, vec![4]);
+        // goodput over the merged window: 3 in-SLO / 3 s.
+        assert_eq!(m.goodput(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero segments")]
+    fn concat_rejects_empty() {
+        let _ = RunReport::concat(vec![]);
     }
 
     #[test]
@@ -239,10 +338,14 @@ mod tests {
             slo: SimDuration::from_millis(100),
             stragglers_detected: vec![],
             peak_queue_depth: vec![],
+            peak_replica_queue_depth: vec![],
             replica_availability: vec![],
             faults_injected: 0,
             degraded_completed: 0,
             degraded_within_slo: 0,
+            shed: 0,
+            transfer_retries: 0,
+            transfer_aborts: 0,
         };
         assert_eq!(r.goodput(), 0.0);
         assert_eq!(r.accuracy(), 0.0);

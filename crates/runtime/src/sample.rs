@@ -77,22 +77,8 @@ mod tests {
         let pol = ExitPolicy::Entropy { threshold: 0.4 };
         let ctrl = RampController::all_enabled(m.num_ramps(), RampStyle::Independent);
         let req = Request::classification(1, SimTime::ZERO, 0.3);
-        let a = SimSample::materialize(
-            &req,
-            &m,
-            &sim,
-            &pol,
-            &ctrl,
-            &mut StdRng::seed_from_u64(5),
-        );
-        let b = SimSample::materialize(
-            &req,
-            &m,
-            &sim,
-            &pol,
-            &ctrl,
-            &mut StdRng::seed_from_u64(5),
-        );
+        let a = SimSample::materialize(&req, &m, &sim, &pol, &ctrl, &mut StdRng::seed_from_u64(5));
+        let b = SimSample::materialize(&req, &m, &sim, &pol, &ctrl, &mut StdRng::seed_from_u64(5));
         assert_eq!(a, b);
     }
 

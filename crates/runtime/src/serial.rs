@@ -116,12 +116,10 @@ pub fn run_serial_barrier(
                 .copied()
                 .collect();
             if stage.end < model.num_layers() && !survivors.is_empty() {
-                q.advance(
-                    gather.batch_transfer_time(
-                        model.boundary_bytes(stage.end - 1),
-                        survivors.len() as f64,
-                    ),
-                );
+                q.advance(gather.batch_transfer_time(
+                    model.boundary_bytes(stage.end - 1),
+                    survivors.len() as f64,
+                ));
             }
             let clock = q.now();
             for mut s in finished {

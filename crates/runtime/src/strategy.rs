@@ -98,8 +98,7 @@ mod tests {
         let m = zoo::deebert();
         let c = ClusterSpec::paper_heterogeneous();
         let stages = Strategy::NaiveEe { batch: 4 }.realize(&m, &c);
-        let kinds: std::collections::BTreeSet<_> =
-            stages[0].replicas.iter().copied().collect();
+        let kinds: std::collections::BTreeSet<_> = stages[0].replicas.iter().copied().collect();
         assert!(kinds.len() > 1);
     }
 

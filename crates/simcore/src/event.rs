@@ -241,7 +241,10 @@ mod tests {
     #[test]
     fn advance_moves_clock_without_popping() {
         let mut q: EventQueue<()> = EventQueue::new();
-        assert_eq!(q.advance(SimDuration::from_millis(4)), SimTime::from_millis(4));
+        assert_eq!(
+            q.advance(SimDuration::from_millis(4)),
+            SimTime::from_millis(4)
+        );
         assert_eq!(q.now(), SimTime::from_millis(4));
         assert_eq!(q.processed(), 0);
         q.schedule(SimTime::from_millis(10), ());

@@ -213,7 +213,9 @@ pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>, LinalgError> {
 /// still singular.
 pub fn least_squares(x: &Matrix, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
     if y.len() != x.rows() {
-        return Err(LinalgError::ShapeMismatch { context: "least_squares" });
+        return Err(LinalgError::ShapeMismatch {
+            context: "least_squares",
+        });
     }
     let xt = x.transpose();
     let mut xtx = xt.matmul(x)?;

@@ -54,7 +54,10 @@ pub fn autocovariance(xs: &[f64], k: usize) -> f64 {
         return 0.0;
     }
     let m = mean(xs);
-    (0..n - k).map(|i| (xs[i] - m) * (xs[i + k] - m)).sum::<f64>() / n as f64
+    (0..n - k)
+        .map(|i| (xs[i] - m) * (xs[i + k] - m))
+        .sum::<f64>()
+        / n as f64
 }
 
 /// Lag-`k` sample autocorrelation.
@@ -175,7 +178,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_is_negative() {
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&xs, 1) < -0.9);
         assert!(autocorrelation(&xs, 2) > 0.9);
     }

@@ -95,8 +95,7 @@ impl P2Quantile {
             if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
                 let s = d.signum();
                 let candidate = self.parabolic(i, s);
-                let new_h = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
-                {
+                let new_h = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
                     candidate
                 } else {
                     self.linear(i, s)
@@ -118,8 +117,7 @@ impl P2Quantile {
     fn linear(&self, i: usize, s: f64) -> f64 {
         let j = (i as f64 + s) as usize;
         self.heights[i]
-            + s * (self.heights[j] - self.heights[i])
-                / (self.positions[j] - self.positions[i])
+            + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
     /// Current quantile estimate. Before five observations, falls back
@@ -131,9 +129,7 @@ impl P2Quantile {
         if self.count < 5 {
             let mut seen = self.heights[..self.count].to_vec();
             seen.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            let idx = ((self.q * self.count as f64).ceil() as usize)
-                .clamp(1, self.count)
-                - 1;
+            let idx = ((self.q * self.count as f64).ceil() as usize).clamp(1, self.count) - 1;
             return seen[idx];
         }
         self.heights[2]

@@ -151,10 +151,7 @@ mod tests {
         let p = ArrivalProcess::Poisson { rate: 200.0 };
         let mut rng = StdRng::seed_from_u64(4);
         let ts = p.generate(SimDuration::from_secs(60), &mut rng);
-        let gaps: Vec<f64> = ts
-            .windows(2)
-            .map(|w| (w[1] - w[0]).as_secs_f64())
-            .collect();
+        let gaps: Vec<f64> = ts.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
         let m = e3_simcore::stats::mean(&gaps);
         let sd = e3_simcore::stats::std_dev(&gaps);
         let cv = sd / m;

@@ -85,7 +85,10 @@ impl DatasetModel {
         output_len: LengthDist,
     ) -> Self {
         let total: f64 = components.iter().map(|c| c.weight).sum();
-        assert!((total - 1.0).abs() < 1e-9, "component weights must sum to 1");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "component weights must sum to 1"
+        );
         DatasetModel {
             name: name.to_string(),
             components,
@@ -125,7 +128,11 @@ impl DatasetModel {
     /// model; hard inputs need ≥70% of it.
     pub fn with_mix(easy_frac: f64) -> Self {
         assert!((0.0..=1.0).contains(&easy_frac), "easy_frac in [0,1]");
-        let name = format!("mix-{:.0}E/{:.0}H", easy_frac * 100.0, (1.0 - easy_frac) * 100.0);
+        let name = format!(
+            "mix-{:.0}E/{:.0}H",
+            easy_frac * 100.0,
+            (1.0 - easy_frac) * 100.0
+        );
         DatasetModel::new(
             &name,
             vec![
@@ -326,7 +333,10 @@ mod tests {
         let easy = mean_hardness(&DatasetModel::with_mix(0.8), 2);
         let balanced = mean_hardness(&DatasetModel::with_mix(0.5), 2);
         let hard = mean_hardness(&DatasetModel::with_mix(0.2), 2);
-        assert!(easy < balanced && balanced < hard, "{easy} {balanced} {hard}");
+        assert!(
+            easy < balanced && balanced < hard,
+            "{easy} {balanced} {hard}"
+        );
     }
 
     #[test]

@@ -86,8 +86,8 @@ impl BurstyTraceConfig {
 
         let mut out = Vec::new();
         let mut t = 0.0f64;
-        let mut bursting = rng.gen::<f64>()
-            < self.mean_burst_secs / (self.mean_burst_secs + self.mean_lull_secs);
+        let mut bursting =
+            rng.gen::<f64>() < self.mean_burst_secs / (self.mean_burst_secs + self.mean_lull_secs);
         let mut state_end = exp_sample(
             rng,
             1.0 / if bursting {
@@ -216,8 +216,7 @@ mod tests {
             horizon,
         );
         let diurnal = per_second_counts(
-            &BurstyTraceConfig::diurnal(1000.0)
-                .generate(horizon, &mut StdRng::seed_from_u64(9)),
+            &BurstyTraceConfig::diurnal(1000.0).generate(horizon, &mut StdRng::seed_from_u64(9)),
             horizon,
         );
         assert!(peak_to_mean(&diurnal) < peak_to_mean(&twitter));

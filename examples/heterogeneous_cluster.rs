@@ -27,10 +27,10 @@ fn main() {
     println!("equal-cost clusters: 16 x V100  vs  6 x V100 + 8 x P100 + 15 x K80\n");
     println!("goodput at fixed cost (E3, samples/s):");
     for b in [1usize, 8] {
-        let gh = run_closed_loop(SystemKind::E3, &family, &homo, b, &ds, 15_000, &opts, 3)
-            .goodput();
-        let gx = run_closed_loop(SystemKind::E3, &family, &hetero, b, &ds, 15_000, &opts, 3)
-            .goodput();
+        let gh =
+            run_closed_loop(SystemKind::E3, &family, &homo, b, &ds, 15_000, &opts, 3).goodput();
+        let gx =
+            run_closed_loop(SystemKind::E3, &family, &hetero, b, &ds, 15_000, &opts, 3).goodput();
         println!("  b={b}: homogeneous {gh:>6.0}  heterogeneous {gx:>6.0}");
     }
 
@@ -56,6 +56,10 @@ fn main() {
     .expect("target reachable");
     println!("\ncheapest allocation for 6000 samples/s at b=8:");
     println!("  {plan}");
-    println!("  cost: ${:.4}/s (${:.2}/min)", plan.cost_per_sec(), plan.cost_per_sec() * 60.0);
+    println!(
+        "  cost: ${:.4}/s (${:.2}/min)",
+        plan.cost_per_sec(),
+        plan.cost_per_sec() * 60.0
+    );
     println!("\nsmall-surviving-batch splits land on cheap GPUs; full-batch splits on fast ones.");
 }

@@ -35,7 +35,18 @@ fn main() {
     for b in [1usize, 4, 16, 32] {
         let run = |model: &e3_model::EeModel, c: &RampController, strat| {
             simulate_autoreg(
-                model, &policy, c, &infer, &ds, strat, GpuKind::A6000, 4, b, 500, &lm, 9,
+                model,
+                &policy,
+                c,
+                &infer,
+                &ds,
+                strat,
+                GpuKind::A6000,
+                4,
+                b,
+                500,
+                &lm,
+                9,
             )
         };
         let v = run(&t5, &ctrl0, AutoRegStrategy::VanillaStatic);

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, test, lint. Run from the repo root.
+# Tier-1 gate: format, build, test, lint. Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
+cargo fmt --check
+cargo build --release --locked
 cargo test -q
 cargo clippy -- -D warnings
 
-# Smoke pass: the fault-degradation sweep and one paper figure must run
-# and produce non-empty tables.
+# Smoke pass: the fault-degradation sweep, the guarded-reconfiguration
+# sweep, and one paper figure must run and produce non-empty tables.
 ./target/release/fig_degradation | tee /tmp/fig_degradation.out | grep -q "RelativeSlowdown"
 test -s /tmp/fig_degradation.out
+./target/release/fig_reconfig | tee /tmp/fig_reconfig.out | grep -q "watchdog decisions"
+test -s /tmp/fig_reconfig.out
 ./target/release/fig07_nlp_goodput | tee /tmp/fig07.out | grep -q "goodput vs batch size"
 test -s /tmp/fig07.out

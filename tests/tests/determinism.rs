@@ -7,8 +7,8 @@ use e3::{DeploymentBuilder, E3Config, E3System};
 use e3_hardware::{ClusterSpec, GpuKind};
 use e3_model::zoo;
 use e3_runtime::Strategy;
-use e3_workload::{ArrivalProcess, DatasetModel, WorkloadGenerator};
 use e3_simcore::SimDuration;
+use e3_workload::{ArrivalProcess, DatasetModel, WorkloadGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

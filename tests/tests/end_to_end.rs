@@ -57,11 +57,7 @@ fn all_families_keep_ordering_at_batch_8() {
     ] {
         let e3 = goodput(SystemKind::E3, &family, &cluster, 8);
         let naive = goodput(SystemKind::NaiveEe, &family, &cluster, 8);
-        assert!(
-            e3 > naive,
-            "{}: E3 {e3} <= naive {naive}",
-            family.ee.name()
-        );
+        assert!(e3 > naive, "{}: E3 {e3} <= naive {naive}", family.ee.name());
     }
 }
 
@@ -112,8 +108,18 @@ fn heterogeneous_cluster_helps_at_small_batch() {
     // §5.2: at batch 1, the equal-cost heterogeneous cluster beats the
     // V100-only cluster for E3 (more devices for latency-bound work).
     let family = ModelFamily::nlp();
-    let homo = goodput(SystemKind::E3, &family, &ClusterSpec::paper_homogeneous_v100(), 1);
-    let hetero = goodput(SystemKind::E3, &family, &ClusterSpec::paper_heterogeneous(), 1);
+    let homo = goodput(
+        SystemKind::E3,
+        &family,
+        &ClusterSpec::paper_homogeneous_v100(),
+        1,
+    );
+    let hetero = goodput(
+        SystemKind::E3,
+        &family,
+        &ClusterSpec::paper_heterogeneous(),
+        1,
+    );
     assert!(hetero > homo * 0.95, "hetero {hetero} homo {homo}");
 }
 
@@ -148,6 +154,9 @@ fn wrapper_never_hurts_materially() {
             13,
         )
         .goodput();
-        assert!(wrapped > plain * 0.98, "b={b}: wrapped {wrapped} plain {plain}");
+        assert!(
+            wrapped > plain * 0.98,
+            "b={b}: wrapped {wrapped} plain {plain}"
+        );
     }
 }

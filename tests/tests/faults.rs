@@ -220,8 +220,15 @@ fn stage_stall_pauses_dispatch_for_the_window() {
             })
             .count()
     };
-    assert_eq!(starts_in(from, until), 0, "stage 1 dispatched while stalled");
-    assert!(starts_in(SimTime::ZERO, from) > 0, "no stage-1 work before stall");
+    assert_eq!(
+        starts_in(from, until),
+        0,
+        "stage 1 dispatched while stalled"
+    );
+    assert!(
+        starts_in(SimTime::ZERO, from) > 0,
+        "no stage-1 work before stall"
+    );
     assert!(
         starts_in(until, ms(60_000)) > 0,
         "stage 1 never resumed after the stall"
@@ -307,11 +314,9 @@ fn event_log_ordering_holds_under_faults() {
         .position(|(_, e)| matches!(e, KernelEvent::Completion { .. }))
         .expect("some completion");
     let before = &log.events[..completion];
-    let pos =
-        |pred: &dyn Fn(&KernelEvent) -> bool| before.iter().position(|(_, e)| pred(e));
+    let pos = |pred: &dyn Fn(&KernelEvent) -> bool| before.iter().position(|(_, e)| pred(e));
     let arrival = pos(&|e| matches!(e, KernelEvent::Arrival { .. })).expect("arrival");
-    let batched =
-        pos(&|e| matches!(e, KernelEvent::BatchFormed { .. })).expect("batch formed");
+    let batched = pos(&|e| matches!(e, KernelEvent::BatchFormed { .. })).expect("batch formed");
     let started = pos(&|e| matches!(e, KernelEvent::ExecStart { .. })).expect("exec start");
     let done = pos(&|e| matches!(e, KernelEvent::ExecDone { .. })).expect("exec done");
     assert!(arrival < batched && batched < started && started < done);

@@ -21,7 +21,18 @@ fn translation_orderings_hold() {
     let boundary = pick_boundary(&calm, &policy, &ctrl, &infer, &ds, 0.5, 31);
     let run = |model: &e3_model::EeModel, c: &RampController, strat, b| {
         simulate_autoreg(
-            model, &policy, c, &infer, &ds, strat, GpuKind::A6000, 4, b, 400, &lm(), 31,
+            model,
+            &policy,
+            c,
+            &infer,
+            &ds,
+            strat,
+            GpuKind::A6000,
+            4,
+            b,
+            400,
+            &lm(),
+            31,
         )
         .goodput
     };
@@ -105,13 +116,27 @@ fn llama_ee_pathology_and_e3_rescue() {
     e3_ctrl.keep_only(&[ee.ramp_after(boundary - 1).expect("ramp at boundary")]);
     let run = |model: &e3_model::EeModel, c: &RampController, strat| {
         simulate_autoreg(
-            model, &policy, c, &infer, &ds, strat, GpuKind::A6000, 4, 8, 400, &lm(), 33,
+            model,
+            &policy,
+            c,
+            &infer,
+            &ds,
+            strat,
+            GpuKind::A6000,
+            4,
+            8,
+            400,
+            &lm(),
+            33,
         )
         .goodput
     };
     let v = run(&vanilla, &ctrl0, AutoRegStrategy::VanillaStatic);
     let naive = run(&ee, &ctrl, AutoRegStrategy::NaiveEeBatched);
     let e3 = run(&ee, &e3_ctrl, AutoRegStrategy::E3 { boundary });
-    assert!(naive < v, "naive {naive} must lose to vanilla {v} (lm-head ramps)");
+    assert!(
+        naive < v,
+        "naive {naive} must lose to vanilla {v} (lm-head ramps)"
+    );
     assert!(e3 > v, "e3 {e3} must beat vanilla {v}");
 }

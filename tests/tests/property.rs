@@ -11,9 +11,7 @@ use e3_optimizer::{optimize_heterogeneous, optimize_homogeneous, OptimizerConfig
 use e3_profiler::{ArimaModel, BatchProfileEstimator, EstimatorConfig};
 use e3_runtime::kernel::{AdmitAll, EventLog, NoStragglerDetection, StaticBatching};
 use e3_runtime::strategy::StageSpec;
-use e3_runtime::{
-    FaultPlan, KernelEvent, KernelPolicies, RunReport, ServingConfig, ServingSim,
-};
+use e3_runtime::{FaultPlan, KernelEvent, KernelPolicies, RunReport, ServingConfig, ServingSim};
 use e3_simcore::{SimDuration, SimTime};
 use e3_workload::{ArrivalProcess, DatasetModel, WorkloadGenerator};
 use rand::rngs::StdRng;
@@ -105,6 +103,44 @@ fn run_two_stage_faulted(
         sim.run_observed(&reqs, seed, &mut log)
     };
     (r, log)
+}
+
+/// One of the two stage layouts the plan-swap property alternates
+/// between: a 2-stage split pipeline or a single monolithic stage.
+fn swap_sim(model: &EeModel, two_stage: bool) -> ServingSim<'_> {
+    let stages = if two_stage {
+        vec![
+            StageSpec {
+                layers: 0..6,
+                target_batch: 4,
+                replicas: vec![GpuKind::V100; 2],
+                deferred_exits: true,
+            },
+            StageSpec {
+                layers: 6..12,
+                target_batch: 4,
+                replicas: vec![GpuKind::V100; 2],
+                deferred_exits: true,
+            },
+        ]
+    } else {
+        vec![StageSpec {
+            layers: 0..12,
+            target_batch: 4,
+            replicas: vec![GpuKind::V100; 4],
+            deferred_exits: true,
+        }]
+    };
+    ServingSim::new(
+        model,
+        zoo::default_policy("DeeBERT"),
+        RampController::all_enabled(model.num_ramps(), e3_model::RampStyle::Independent),
+        InferenceSim::new(),
+        stages,
+        LatencyModel::new(),
+        TransferModel::default(),
+        ServingConfig::default(),
+    )
 }
 
 /// Strategy: a valid survival profile for `layers` layers.
@@ -299,6 +335,76 @@ proptest! {
             prop_assert!(log.events.windows(2).all(|w| w[0].0 <= w[1].0));
             prop_assert_eq!(r.faults_injected, plan.len() as u64);
         }
+    }
+
+    #[test]
+    fn segmented_serving_conserves_across_plan_swaps(
+        cuts in proptest::collection::vec(0.05f64..0.95, 0..4),
+        which in proptest::collection::vec(0usize..2, 5),
+        seed in 0u64..500,
+    ) {
+        // Tentpole invariant: an arbitrary plan-swap schedule — the
+        // request stream partitioned at arbitrary points into segments,
+        // each served by a different stage layout, all events re-based
+        // onto one global clock (the exact shape of a guarded window's
+        // probe/canary/remainder epochs) — loses no request, duplicates
+        // no request, and never rewinds the clock.
+        let n = 300usize;
+        let model = zoo::deebert();
+        let sims = [swap_sim(&model, false), swap_sim(&model, true)];
+        let g = WorkloadGenerator::new(
+            ArrivalProcess::ClosedLoop { concurrency: 32 },
+            DatasetModel::sst2(),
+            SimDuration::from_secs(60),
+        );
+        let reqs = g.generate(n, &mut StdRng::seed_from_u64(seed));
+
+        // Sorted, deduped cut indices -> contiguous segments covering 0..n.
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| (c * n as f64) as usize).collect();
+        bounds.push(0);
+        bounds.push(n);
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        let mut log = EventLog::new();
+        let mut clock = SimTime::ZERO;
+        let mut completed = 0u64;
+        let mut dropped = 0u64;
+        let mut consumed = 0usize;
+        for (i, pair) in bounds.windows(2).enumerate() {
+            let sim = &sims[which[i % which.len()]];
+            let seg = {
+                let mut off = e3_runtime::OffsetObserver::new(clock, &mut log);
+                sim.run_segment(&reqs[pair[0]..pair[1]], seed ^ i as u64, &mut off)
+            };
+            clock = clock + seg.report.duration;
+            completed += seg.report.completed;
+            dropped += seg.report.dropped;
+            consumed += seg.consumed;
+        }
+
+        // Each segment drains fully: everything handed to it was ingested.
+        prop_assert_eq!(consumed, n);
+        // Conservation across swaps: every request terminates exactly once.
+        prop_assert_eq!(completed + dropped, n as u64);
+        let mut arrived = vec![0u32; n];
+        let mut terminated = vec![0u32; n];
+        for (_, e) in &log.events {
+            match e {
+                KernelEvent::Arrival { sample } => arrived[*sample as usize] += 1,
+                KernelEvent::Dropped { sample, .. }
+                | KernelEvent::Completion { sample, .. } => {
+                    terminated[*sample as usize] += 1;
+                }
+                _ => {}
+            }
+        }
+        for i in 0..n {
+            prop_assert_eq!(arrived[i], 1);
+            prop_assert_eq!(terminated[i], 1);
+        }
+        // The merged stream sits on one monotone clock.
+        prop_assert!(log.events.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 
     #[test]
