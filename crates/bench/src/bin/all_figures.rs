@@ -33,6 +33,9 @@ fn main() {
         "fig26_model_parallelism",
         "generality_policies",
         "ablations",
+        "fig_degradation",
+        "fig_reconfig",
+        "fig_multitenant",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

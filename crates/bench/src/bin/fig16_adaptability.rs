@@ -2,8 +2,9 @@
 //! 80:20 → 50:50 → 20:80 while the systems run; E3's online profiler and
 //! optimizer re-plan each window.
 
-use e3::harness::{run_closed_loop, HarnessOpts, ModelFamily, SystemKind};
+use e3::harness::{ModelFamily, SystemKind};
 use e3::{E3Config, E3System};
+use e3_bench::exp::Experiment;
 use e3_bench::{takeaway, Table, RUN_N, SEED};
 use e3_hardware::ClusterSpec;
 use e3_workload::DatasetModel;
@@ -12,7 +13,6 @@ fn main() {
     println!("Figure 16: adaptability to easy:hard mix shifts (16 x V100, b=8)\n");
     let family = ModelFamily::nlp();
     let cluster = ClusterSpec::paper_homogeneous_v100();
-    let opts = HarnessOpts::default();
     let mixes = [(0.8, "80E/20H"), (0.5, "50E/50H"), (0.2, "20E/80H")];
 
     let mut t = Table::new(
@@ -26,8 +26,9 @@ fn main() {
         let gs: Vec<f64> = mixes
             .iter()
             .map(|&(easy, _)| {
-                let ds = DatasetModel::with_mix(easy);
-                run_closed_loop(kind, &family, &cluster, 8, &ds, RUN_N, &opts, SEED).goodput()
+                Experiment::new(family.clone(), cluster.clone(), DatasetModel::sst2())
+                    .with_dataset(DatasetModel::with_mix(easy))
+                    .goodput(kind, 8)
             })
             .collect();
         t.row(name, &gs);

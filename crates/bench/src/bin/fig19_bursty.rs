@@ -1,24 +1,26 @@
 //! Fig. 19 — extremely bursty open-loop workload: Twitter-like arrivals
 //! scaled to a 1,000 req/s mean, GPU utilization under 50%.
 
-use e3::harness::{run_open_loop, HarnessOpts, ModelFamily, SystemKind};
-use e3_bench::{takeaway, Table, SEED};
+use e3::harness::{ModelFamily, SystemKind};
+use e3_bench::exp::Experiment;
+use e3_bench::{takeaway, Table};
 use e3_hardware::{ClusterSpec, GpuKind};
 use e3_simcore::SimDuration;
 use e3_workload::{ArrivalProcess, BurstyTraceConfig, DatasetModel, WorkloadGenerator};
 
 fn main() {
     println!("Figure 19: bursty open-loop serving (Twitter-like trace, 1000 req/s mean)\n");
-    let family = ModelFamily::nlp();
     // Few GPUs so the mean load is substantial but bursts overwhelm.
-    let cluster = ClusterSpec::homogeneous(GpuKind::V100, 4, 2);
-    let ds = DatasetModel::sst2();
+    let exp = Experiment::new(
+        ModelFamily::nlp(),
+        ClusterSpec::homogeneous(GpuKind::V100, 4, 2),
+        DatasetModel::sst2(),
+    );
     let generator = WorkloadGenerator::new(
         ArrivalProcess::Bursty(BurstyTraceConfig::twitter_like(1000.0)),
-        ds.clone(),
+        exp.dataset.clone(),
         SimDuration::from_secs(120),
     );
-    let opts = HarnessOpts::default();
 
     let mut t = Table::new(
         "open-loop serving, batch 8",
@@ -30,7 +32,7 @@ fn main() {
         ("DeeBERT", SystemKind::NaiveEe),
         ("E3", SystemKind::E3),
     ] {
-        let r = run_open_loop(kind, &family, &cluster, 8, &generator, &ds, &opts, SEED);
+        let r = exp.run_open(kind, 8, &generator);
         t.row_fmt(
             name,
             &[

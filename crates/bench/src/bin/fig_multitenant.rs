@@ -1,0 +1,7 @@
+//! Multi-tenant study — joint GPU allocation across concurrent EE-DNN
+//! tenants: `StaticEven` vs `DemandProportional` vs the water-filling
+//! `MarginalGoodput` allocator over tenant count × demand skew.
+
+fn main() {
+    print!("{}", e3_bench::figs::fig_multitenant_report());
+}

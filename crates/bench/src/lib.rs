@@ -153,10 +153,10 @@ mod tests {
 /// Experiment helpers shared by several figure binaries.
 pub mod exp {
     use super::{Table, RUN_N, SEED};
-    use e3::harness::{run_closed_loop, HarnessOpts, ModelFamily, SystemKind};
+    use e3::harness::{run_closed_loop, run_open_loop, HarnessOpts, ModelFamily, SystemKind};
     use e3_hardware::ClusterSpec;
     use e3_runtime::RunReport;
-    use e3_workload::DatasetModel;
+    use e3_workload::{DatasetModel, WorkloadGenerator};
 
     /// A figure's fixed experimental context — family, cluster, dataset,
     /// harness options, request count, seed — so each binary only states
@@ -194,6 +194,45 @@ pub mod exp {
         pub fn with_opts(mut self, opts: HarnessOpts) -> Self {
             self.opts = opts;
             self
+        }
+
+        /// Replaces the dataset (sweeps over workload mixes).
+        pub fn with_dataset(mut self, dataset: DatasetModel) -> Self {
+            self.dataset = dataset;
+            self
+        }
+
+        /// Replaces the request count per measurement point.
+        pub fn with_n(mut self, n: usize) -> Self {
+            self.n = n;
+            self
+        }
+
+        /// Replaces the root seed.
+        pub fn with_seed(mut self, seed: u64) -> Self {
+            self.seed = seed;
+            self
+        }
+
+        /// Runs one open-loop measurement point against `generator`'s
+        /// arrival process (the context's dataset still supplies the
+        /// planning profile).
+        pub fn run_open(
+            &self,
+            kind: SystemKind,
+            batch: usize,
+            generator: &WorkloadGenerator,
+        ) -> RunReport {
+            run_open_loop(
+                kind,
+                &self.family,
+                &self.cluster,
+                batch,
+                generator,
+                &self.dataset,
+                &self.opts,
+                self.seed,
+            )
         }
 
         /// Runs one closed-loop measurement point.

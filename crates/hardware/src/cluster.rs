@@ -203,6 +203,125 @@ impl ClusterSpec {
         machines.retain(|m| !m.gpus.is_empty());
         ClusterSpec::new(machines)
     }
+
+    /// Splits the cluster into disjoint sub-clusters, one per entry of
+    /// `shares` (a per-kind GPU count each). This is the tenancy layer's
+    /// realization step: an allocator decides *how many* GPUs of each
+    /// kind every tenant gets, and `partition` decides *which* physical
+    /// devices those are, deterministically.
+    ///
+    /// Devices are handed out in id order per kind — tenant 0 takes the
+    /// lowest-id GPUs of each kind it was granted, tenant 1 the next,
+    /// and so on — so equal inputs always produce identical partitions.
+    /// Machine grouping is preserved: two GPUs sharing a machine in the
+    /// parent cluster still share one in the sub-cluster (tenants keep
+    /// their PCIe locality where the grant allows it). GPUs left over
+    /// after all shares are satisfied are simply unassigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any share is empty (a tenant must hold at least one
+    /// GPU — `ClusterSpec` cannot represent an empty cluster) or if the
+    /// shares oversubscribe any kind.
+    pub fn partition(&self, shares: &[BTreeMap<GpuKind, usize>]) -> Vec<ClusterSpec> {
+        let available = self.gpu_counts();
+        let mut demanded: BTreeMap<GpuKind, usize> = BTreeMap::new();
+        for (t, share) in shares.iter().enumerate() {
+            assert!(
+                share.values().sum::<usize>() > 0,
+                "partition: tenant {t} granted zero GPUs"
+            );
+            for (&kind, &n) in share {
+                *demanded.entry(kind).or_insert(0) += n;
+            }
+        }
+        for (&kind, &n) in &demanded {
+            assert!(
+                n <= available.get(&kind).copied().unwrap_or(0),
+                "partition: shares oversubscribe {kind:?}: want {n}, have {}",
+                available.get(&kind).copied().unwrap_or(0)
+            );
+        }
+
+        // owner[gpu id] = tenant index, assigned in id order per kind.
+        let mut owner: Vec<Option<usize>> = vec![None; self.gpus.len()];
+        let mut remaining: Vec<BTreeMap<GpuKind, usize>> = shares.to_vec();
+        for g in &self.gpus {
+            for (t, share) in remaining.iter_mut().enumerate() {
+                let left = share.entry(g.kind).or_insert(0);
+                if *left > 0 {
+                    *left -= 1;
+                    owner[g.id] = Some(t);
+                    break;
+                }
+            }
+        }
+
+        // Rebuild each tenant's machines from the parent's machine list,
+        // keeping only the devices it owns.
+        (0..shares.len())
+            .map(|t| {
+                let machines: Vec<MachineSpec> = self
+                    .machines
+                    .iter()
+                    .enumerate()
+                    .map(|(m, _)| MachineSpec {
+                        gpus: self
+                            .gpus
+                            .iter()
+                            .filter(|g| g.machine == m && owner[g.id] == Some(t))
+                            .map(|g| g.kind)
+                            .collect(),
+                    })
+                    .filter(|m| !m.gpus.is_empty())
+                    .collect();
+                ClusterSpec::new(machines)
+            })
+            .collect()
+    }
+
+    /// Partitions the cluster into `n` near-even disjoint sub-clusters:
+    /// each kind's devices are dealt round-robin (in capability order),
+    /// so a heterogeneous cluster divides its strong *and* weak devices
+    /// evenly rather than giving tenant 0 all the A6000s. The first
+    /// `count % n` tenants of each kind receive the extra device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > num_gpus()` (every sub-cluster needs at
+    /// least one device).
+    pub fn partition_even(&self, n: usize) -> Vec<ClusterSpec> {
+        assert!(n > 0, "partition_even: need at least one part");
+        assert!(
+            n <= self.num_gpus(),
+            "partition_even: {n} parts but only {} GPUs",
+            self.num_gpus()
+        );
+        let mut shares: Vec<BTreeMap<GpuKind, usize>> = vec![BTreeMap::new(); n];
+        for (&kind, &count) in &self.gpu_counts() {
+            for (t, share) in shares.iter_mut().enumerate() {
+                let take = count / n + usize::from(t < count % n);
+                if take > 0 {
+                    *share.entry(kind).or_insert(0) += take;
+                }
+            }
+        }
+        // Round-robin dealing can leave a tenant with zero devices when
+        // kinds are scarcer than tenants; backfill from the largest
+        // holder so every sub-cluster is non-empty.
+        while let Some(empty) = shares.iter().position(|s| s.values().sum::<usize>() == 0) {
+            let richest = (0..n)
+                .max_by_key(|&t| shares[t].values().sum::<usize>())
+                .expect("n > 0");
+            let (&kind, _) = shares[richest]
+                .iter()
+                .find(|(_, &c)| c > 0)
+                .expect("richest tenant holds a GPU");
+            *shares[richest].get_mut(&kind).expect("present") -= 1;
+            *shares[empty].entry(kind).or_insert(0) += 1;
+        }
+        self.partition(&shares)
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +393,95 @@ mod tests {
         // Removing a kind that isn't present changes nothing.
         let same = c.without(GpuKind::A6000, 3);
         assert_eq!(same.num_gpus(), 6);
+    }
+
+    #[test]
+    fn partition_is_disjoint_and_deterministic() {
+        let c = ClusterSpec::paper_heterogeneous();
+        let shares = vec![
+            BTreeMap::from([(GpuKind::V100, 4), (GpuKind::K80, 3)]),
+            BTreeMap::from([(GpuKind::V100, 2), (GpuKind::P100, 8)]),
+            BTreeMap::from([(GpuKind::K80, 12)]),
+        ];
+        let parts = c.partition(&shares);
+        assert_eq!(parts.len(), 3);
+        // Each part holds exactly its share.
+        assert_eq!(parts[0].gpu_counts()[&GpuKind::V100], 4);
+        assert_eq!(parts[0].gpu_counts()[&GpuKind::K80], 3);
+        assert_eq!(parts[1].gpu_counts()[&GpuKind::P100], 8);
+        assert_eq!(parts[2].gpu_counts()[&GpuKind::K80], 12);
+        // Disjoint and within budget: per-kind totals never exceed the parent.
+        let mut total: BTreeMap<GpuKind, usize> = BTreeMap::new();
+        for p in &parts {
+            for (k, n) in p.gpu_counts() {
+                *total.entry(k).or_insert(0) += n;
+            }
+        }
+        for (k, n) in &total {
+            assert!(n <= &c.gpu_counts()[k]);
+        }
+        // Ids are dense per sub-cluster (each is a well-formed ClusterSpec).
+        for p in &parts {
+            for (i, g) in p.gpus().iter().enumerate() {
+                assert_eq!(g.id, i);
+            }
+        }
+        // Deterministic: same shares, same partition.
+        assert_eq!(c.partition(&shares), parts);
+    }
+
+    #[test]
+    fn partition_preserves_machine_locality() {
+        // 4 V100s, 2 per machine; one tenant takes 2 — it must get both
+        // devices of machine 0, still co-located.
+        let c = ClusterSpec::homogeneous(GpuKind::V100, 4, 2);
+        let parts = c.partition(&[
+            BTreeMap::from([(GpuKind::V100, 2)]),
+            BTreeMap::from([(GpuKind::V100, 2)]),
+        ]);
+        for p in &parts {
+            assert_eq!(p.machines().len(), 1);
+            assert_eq!(p.link_between(0, 1), LinkKind::Pcie);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribe")]
+    fn partition_rejects_oversubscription() {
+        let c = ClusterSpec::homogeneous(GpuKind::V100, 4, 2);
+        let _ = c.partition(&[BTreeMap::from([(GpuKind::V100, 5)])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero GPUs")]
+    fn partition_rejects_empty_share() {
+        let c = ClusterSpec::homogeneous(GpuKind::V100, 4, 2);
+        let _ = c.partition(&[BTreeMap::new()]);
+    }
+
+    #[test]
+    fn partition_even_spreads_kinds() {
+        let c = ClusterSpec::paper_heterogeneous(); // 6 V100 + 8 P100 + 15 K80
+        let parts = c.partition_even(2);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].gpu_counts()[&GpuKind::V100], 3);
+        assert_eq!(parts[1].gpu_counts()[&GpuKind::V100], 3);
+        assert_eq!(parts[0].gpu_counts()[&GpuKind::P100], 4);
+        // The odd K80 goes to the first part.
+        assert_eq!(parts[0].gpu_counts()[&GpuKind::K80], 8);
+        assert_eq!(parts[1].gpu_counts()[&GpuKind::K80], 7);
+        assert_eq!(
+            parts.iter().map(ClusterSpec::num_gpus).sum::<usize>(),
+            c.num_gpus()
+        );
+    }
+
+    #[test]
+    fn partition_even_backfills_scarce_kinds() {
+        // 3 GPUs over 3 tenants: everyone ends up with exactly one.
+        let c = ClusterSpec::homogeneous(GpuKind::V100, 3, 2);
+        let parts = c.partition_even(3);
+        assert!(parts.iter().all(|p| p.num_gpus() == 1));
     }
 
     #[test]

@@ -372,7 +372,7 @@ mod tests {
         assert!(sets.contains(&vec![1, 3]));
         for s in &sets {
             assert!(s.windows(2).all(|w| w[0] < w[1]));
-            assert!(s.iter().all(|&b| b >= 1 && b < 4));
+            assert!(s.iter().all(|&b| (1..4).contains(&b)));
         }
     }
 

@@ -38,6 +38,7 @@ pub mod auto;
 pub mod config;
 pub mod dp;
 pub mod hetero;
+pub mod marginal;
 pub mod plan;
 pub mod stage;
 
@@ -49,5 +50,6 @@ pub use auto::{
 pub use config::OptimizerConfig;
 pub use dp::optimize_homogeneous;
 pub use hetero::optimize_heterogeneous;
+pub use marginal::{SubsetValue, ValueOracle};
 pub use plan::{Split, SplitPlan};
 pub use stage::StageCost;

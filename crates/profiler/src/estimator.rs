@@ -208,9 +208,9 @@ mod tests {
         // Noisy observations that individually violate nothing but could
         // lead a per-series forecaster astray.
         for w in 0..15 {
-            let jitter = if w % 2 == 0 { 0.05 } else { -0.05 };
-            let s1 = (0.7 + jitter as f64).clamp(0.0, 1.0);
-            let s2 = (0.5 - jitter as f64).min(s1);
+            let jitter: f64 = if w % 2 == 0 { 0.05 } else { -0.05 };
+            let s1 = (0.7 + jitter).clamp(0.0, 1.0);
+            let s2 = (0.5 - jitter).min(s1);
             let s3: f64 = 0.45_f64.min(s2);
             e.observe_window(&profile(&[s1, s2, s3]));
         }

@@ -281,7 +281,6 @@ macro_rules! __proptest_impl {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
-    use super::Strategy as _;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]

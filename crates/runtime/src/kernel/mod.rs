@@ -28,7 +28,9 @@ mod policy;
 
 pub use accounting::RunAccumulator;
 pub use faults::{ExclusionReason, FaultEvent, FaultPlan};
-pub use observer::{EventLog, KernelEvent, NullObserver, OffsetObserver, RunObserver};
+pub use observer::{
+    EventLog, KernelEvent, NullObserver, OffsetObserver, RunObserver, TagObserver, TaggedEventLog,
+};
 pub use policy::{
     AdmissionPolicy, AdmitAll, BatchingPolicy, FusionBatching, NoStragglerDetection,
     RelativeSlowdown, ReplicaPerf, SloSlackAdmission, StaticBatching, StragglerPolicy,

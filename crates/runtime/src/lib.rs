@@ -58,7 +58,7 @@ pub mod strategy;
 pub use engine::{SegmentRun, ServingConfig, ServingSim, TransferRetryConfig};
 pub use kernel::{
     AdmissionPolicy, BatchingPolicy, ExclusionReason, FaultEvent, FaultPlan, KernelEvent,
-    KernelPolicies, OffsetObserver, RunObserver, StragglerPolicy,
+    KernelPolicies, OffsetObserver, RunObserver, StragglerPolicy, TagObserver, TaggedEventLog,
 };
 pub use report::RunReport;
 pub use strategy::Strategy;

@@ -103,6 +103,56 @@ pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
     (se / predicted.len() as f64).sqrt()
 }
 
+/// Jain's fairness index over per-entity allocations:
+/// `J = (Σx)² / (n · Σx²)`, in `(0, 1]` — `1.0` when every entity gets
+/// the same share, `1/n` when one entity gets everything. Used by the
+/// multi-tenant accounting to score how evenly goodput is divided across
+/// tenants.
+///
+/// Edge cases: an empty slice and an all-zero slice are both reported as
+/// perfectly fair (`1.0`) — there is no allocation to be unfair about.
+/// Negative allocations are rejected.
+///
+/// # Panics
+///
+/// Panics if any allocation is negative or non-finite.
+pub fn jain_fairness_index(xs: &[f64]) -> f64 {
+    assert!(
+        xs.iter().all(|x| x.is_finite() && *x >= 0.0),
+        "jain_fairness_index: allocations must be finite and non-negative"
+    );
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if xs.is_empty() || sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sum_sq)
+}
+
+/// Weighted Jain fairness: each allocation is first normalized by its
+/// entity's weight (`x_i / w_i`), so an allocation exactly proportional
+/// to the weights scores `1.0`. A tenant with priority weight 2 is
+/// *supposed* to get twice the goodput; this variant does not punish
+/// that.
+///
+/// # Panics
+///
+/// Panics on length mismatch, or if any weight is non-positive, or any
+/// allocation negative/non-finite.
+pub fn weighted_jain_fairness_index(xs: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(
+        xs.len(),
+        weights.len(),
+        "weighted_jain_fairness_index: length mismatch"
+    );
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w > 0.0),
+        "weighted_jain_fairness_index: weights must be finite and positive"
+    );
+    let normalized: Vec<f64> = xs.iter().zip(weights).map(|(x, w)| x / w).collect();
+    jain_fairness_index(&normalized)
+}
+
 /// Five-number summary (min, p25, median, p75, max) plus mean — exactly
 /// the statistics shown in the paper's latency box plot (fig. 17).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -192,6 +242,49 @@ mod tests {
         assert!((mape(&p, &a) - 0.5).abs() < 1e-12);
         assert!((rmse(&p, &a) - (0.5f64).sqrt()).abs() < 1e-12);
         assert_eq!(mape(&[1.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn jain_bounds_and_extremes() {
+        // Equal shares are perfectly fair.
+        assert_eq!(jain_fairness_index(&[3.0, 3.0, 3.0, 3.0]), 1.0);
+        // One entity hogging everything floors the index at 1/n.
+        let hog = jain_fairness_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((hog - 0.25).abs() < 1e-12, "hog={hog}");
+        // Intermediate skew lands strictly between.
+        let mid = jain_fairness_index(&[4.0, 2.0, 2.0]);
+        assert!(mid > 1.0 / 3.0 && mid < 1.0, "mid={mid}");
+        // Scale invariance.
+        assert!(
+            (jain_fairness_index(&[1.0, 2.0, 3.0]) - jain_fairness_index(&[10.0, 20.0, 30.0]))
+                .abs()
+                < 1e-12
+        );
+        // Degenerate inputs are vacuously fair.
+        assert_eq!(jain_fairness_index(&[]), 1.0);
+        assert_eq!(jain_fairness_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn weighted_jain_respects_priorities() {
+        // Allocation proportional to weight is perfectly fair.
+        let j = weighted_jain_fairness_index(&[2.0, 1.0], &[2.0, 1.0]);
+        assert!((j - 1.0).abs() < 1e-12, "j={j}");
+        // The same allocation under equal weights is not.
+        let j_eq = weighted_jain_fairness_index(&[2.0, 1.0], &[1.0, 1.0]);
+        assert!(j_eq < 1.0, "j_eq={j_eq}");
+        // Unit weights reduce to the plain index.
+        let xs = [5.0, 1.0, 3.0];
+        assert!(
+            (weighted_jain_fairness_index(&xs, &[1.0, 1.0, 1.0]) - jain_fairness_index(&xs)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn jain_rejects_negative_allocations() {
+        let _ = jain_fairness_index(&[1.0, -0.5]);
     }
 
     #[test]

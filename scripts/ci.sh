@@ -9,10 +9,13 @@ cargo test -q
 cargo clippy -- -D warnings
 
 # Smoke pass: the fault-degradation sweep, the guarded-reconfiguration
-# sweep, and one paper figure must run and produce non-empty tables.
+# sweep, the multi-tenant allocation sweep, and one paper figure must
+# run and produce non-empty tables.
 ./target/release/fig_degradation | tee /tmp/fig_degradation.out | grep -q "RelativeSlowdown"
 test -s /tmp/fig_degradation.out
 ./target/release/fig_reconfig | tee /tmp/fig_reconfig.out | grep -q "watchdog decisions"
 test -s /tmp/fig_reconfig.out
+./target/release/fig_multitenant | tee /tmp/fig_multitenant.out | grep -q "MarginalGoodput"
+test -s /tmp/fig_multitenant.out
 ./target/release/fig07_nlp_goodput | tee /tmp/fig07.out | grep -q "goodput vs batch size"
 test -s /tmp/fig07.out

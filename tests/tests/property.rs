@@ -377,7 +377,7 @@ proptest! {
                 let mut off = e3_runtime::OffsetObserver::new(clock, &mut log);
                 sim.run_segment(&reqs[pair[0]..pair[1]], seed ^ i as u64, &mut off)
             };
-            clock = clock + seg.report.duration;
+            clock += seg.report.duration;
             completed += seg.report.completed;
             dropped += seg.report.dropped;
             consumed += seg.consumed;
