@@ -17,6 +17,7 @@ fn main() {
         "fig10_llm_translation",
         "fig11_llm_summarization",
         "fig12_llama_boolq",
+        "fig_kv_pressure",
         "fig13_heterogeneous",
         "fig14_gpu_count",
         "fig15_cost",

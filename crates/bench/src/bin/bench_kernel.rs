@@ -1,0 +1,54 @@
+//! Kernel event-throughput microbenchmark.
+//!
+//! Runs the fixed fig. 7 E3 configuration (BERT/DeeBERT on 16 V100s,
+//! b=8, 20k requests) with a counting observer and reports how many
+//! typed kernel events the simulator processes per wall-clock second.
+//! Emits a single JSON line so CI can archive it as `BENCH_kernel.json`:
+//!
+//! ```text
+//! cargo run --release -p e3-bench --bin bench_kernel > BENCH_kernel.json
+//! ```
+
+use std::time::Instant;
+
+use e3::harness::{run_closed_loop_observed, HarnessOpts, ModelFamily, SystemKind};
+use e3_bench::{RUN_N, SEED};
+use e3_hardware::ClusterSpec;
+use e3_runtime::{KernelEvent, RunObserver};
+use e3_simcore::SimTime;
+use e3_workload::DatasetModel;
+
+struct CountingObserver {
+    events: u64,
+}
+
+impl RunObserver for CountingObserver {
+    fn on_event(&mut self, _now: SimTime, _event: &KernelEvent) {
+        self.events += 1;
+    }
+}
+
+fn main() {
+    let mut obs = CountingObserver { events: 0 };
+    let start = Instant::now();
+    let report = run_closed_loop_observed(
+        SystemKind::E3,
+        &ModelFamily::nlp(),
+        &ClusterSpec::paper_homogeneous_v100(),
+        8,
+        &DatasetModel::sst2(),
+        RUN_N,
+        &HarnessOpts::default(),
+        SEED,
+        &mut obs,
+    );
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "{{\"bench\":\"kernel\",\"requests\":{},\"completed\":{},\"events\":{},\"wall_secs\":{:.3},\"events_per_sec\":{:.0}}}",
+        RUN_N,
+        report.completed,
+        obs.events,
+        wall,
+        obs.events as f64 / wall.max(1e-9)
+    );
+}

@@ -1,72 +1,6 @@
 //! Fig. 10 — autoregressive LLM translation (WMT) on 4 A6000s:
-//! T5 vs CALM vs E3.
-
-use e3_bench::{takeaway, Table, SEED};
-use e3_hardware::{GpuKind, LatencyModel};
-use e3_model::{zoo, InferenceSim, RampController};
-use e3_runtime::autoreg::{pick_boundary, simulate_autoreg, AutoRegStrategy};
-use e3_workload::DatasetModel;
+//! T5 vs CALM vs E3, served as continuous batching on the kernel.
 
 fn main() {
-    println!("Figure 10: translation goodput (samples/s), T5/CALM/E3, 4 x A6000, WMT\n");
-    let t5 = zoo::t5();
-    let calm = zoo::calm_t5();
-    let policy = zoo::default_policy("CALM");
-    let ctrl0 = RampController::all_enabled(0, policy.ramp_style());
-    let ctrl = RampController::all_enabled(calm.num_ramps(), policy.ramp_style());
-    let ds = DatasetModel::wmt();
-    let infer = InferenceSim::with_accuracy(ds.base_accuracy);
-    let lm = LatencyModel::new();
-    let boundary = pick_boundary(&calm, &policy, &ctrl, &infer, &ds, 0.5, SEED);
-    println!(
-        "E3 splits the decoder at layer {} (decoder layer {}) where token survival falls to 50%\n",
-        boundary,
-        boundary - calm.autoreg().expect("autoreg").encoder_layers
-    );
-
-    let batches = [1usize, 2, 4, 8, 16, 32];
-    let cols: Vec<String> = batches.iter().map(|b| format!("b={b}")).collect();
-    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-    let mut t = Table::new("goodput vs batch size", &col_refs);
-    let run = |model: &e3_model::EeModel, c: &RampController, strat: AutoRegStrategy, b: usize| {
-        simulate_autoreg(
-            model,
-            &policy,
-            c,
-            &infer,
-            &ds,
-            strat,
-            GpuKind::A6000,
-            4,
-            b,
-            600,
-            &lm,
-            SEED,
-        )
-        .goodput
-    };
-    let t5_row: Vec<f64> = batches
-        .iter()
-        .map(|&b| run(&t5, &ctrl0, AutoRegStrategy::VanillaStatic, b))
-        .collect();
-    let calm_row: Vec<f64> = batches
-        .iter()
-        .map(|&b| run(&calm, &ctrl, AutoRegStrategy::NaiveEeSequential, b))
-        .collect();
-    let e3_row: Vec<f64> = batches
-        .iter()
-        .map(|&b| run(&calm, &ctrl, AutoRegStrategy::E3 { boundary }, b))
-        .collect();
-    t.row("T5", &t5_row);
-    t.row("CALM", &calm_row);
-    t.row("E3", &e3_row);
-    t.row("paper:T5", &[33.0, 61.0, 75.0, 125.0, 209.0, 341.0]);
-    t.row("paper:CALM", &[94.0, 96.0, 103.0, 115.0, 120.0, 128.0]);
-    t.row("paper:E3", &[93.0, 128.0, 213.0, 320.0, 478.0, 663.0]);
-    t.print();
-    takeaway(&format!(
-        "CALM wins {:.2}x at b=1 (paper 2.84x) then stagnates; E3 reaches {:.2}x over T5 at b=32",
-        calm_row[0] / t5_row[0],
-        e3_row[5] / t5_row[5]
-    ));
+    print!("{}", e3_bench::figs::fig10_report());
 }

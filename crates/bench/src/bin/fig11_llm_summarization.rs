@@ -1,71 +1,6 @@
-//! Fig. 11 — autoregressive summarization (SAMSum, mean output 18
-//! tokens) on 4 A6000s. Variable output lengths make vanilla static
-//! batching pay for stragglers, widening E3's lead (paper: up to 3.8x).
-
-use e3_bench::{takeaway, Table, SEED};
-use e3_hardware::{GpuKind, LatencyModel};
-use e3_model::{zoo, InferenceSim, RampController};
-use e3_runtime::autoreg::{pick_boundary, simulate_autoreg, AutoRegStrategy};
-use e3_workload::DatasetModel;
+//! Fig. 11 — autoregressive summarization (SAMSum) on 4 A6000s:
+//! variable output lengths widen E3's lead over static batching.
 
 fn main() {
-    println!("Figure 11: summarization goodput (samples/s), T5/CALM/E3, 4 x A6000, SAMSum\n");
-    let t5 = zoo::t5();
-    let calm = zoo::calm_t5();
-    let policy = zoo::default_policy("CALM");
-    let ctrl0 = RampController::all_enabled(0, policy.ramp_style());
-    let ctrl = RampController::all_enabled(calm.num_ramps(), policy.ramp_style());
-    let ds = DatasetModel::samsum();
-    let infer = InferenceSim::with_accuracy(ds.base_accuracy);
-    let lm = LatencyModel::new();
-    let boundary = pick_boundary(&calm, &policy, &ctrl, &infer, &ds, 0.5, SEED);
-
-    let batches = [1usize, 2, 4, 8, 16, 32];
-    let cols: Vec<String> = batches.iter().map(|b| format!("b={b}")).collect();
-    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-    let mut t = Table::new("goodput vs batch size", &col_refs);
-    let run = |model: &e3_model::EeModel, c: &RampController, strat: AutoRegStrategy, b: usize| {
-        simulate_autoreg(
-            model,
-            &policy,
-            c,
-            &infer,
-            &ds,
-            strat,
-            GpuKind::A6000,
-            4,
-            b,
-            600,
-            &lm,
-            SEED + 1,
-        )
-        .goodput
-    };
-    let t5_row: Vec<f64> = batches
-        .iter()
-        .map(|&b| run(&t5, &ctrl0, AutoRegStrategy::VanillaStatic, b))
-        .collect();
-    let calm_row: Vec<f64> = batches
-        .iter()
-        .map(|&b| run(&calm, &ctrl, AutoRegStrategy::NaiveEeSequential, b))
-        .collect();
-    let e3_row: Vec<f64> = batches
-        .iter()
-        .map(|&b| run(&calm, &ctrl, AutoRegStrategy::E3 { boundary }, b))
-        .collect();
-    t.row("T5", &t5_row);
-    t.row("CALM", &calm_row);
-    t.row("E3", &e3_row);
-    t.row("paper:T5", &[63.0, 87.0, 108.0, 134.0, 176.0, 115.0]);
-    t.row("paper:CALM", &[24.0, 27.0, 86.0, 88.0, 103.0, 103.0]);
-    t.row("paper:E3", &[38.0, 101.0, 204.0, 283.0, 473.0, 683.0]);
-    t.print();
-    let best = e3_row
-        .iter()
-        .zip(&t5_row)
-        .map(|(e, t)| e / t)
-        .fold(0.0f64, f64::max);
-    takeaway(&format!(
-        "variable lengths amplify E3's win: up to {best:.2}x over T5 (paper up to 3.8x)"
-    ));
+    print!("{}", e3_bench::figs::fig11_report());
 }

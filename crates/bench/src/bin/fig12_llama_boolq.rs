@@ -1,87 +1,6 @@
-//! Fig. 12 — decoder-only LLM generality: Llama-3.1-8B on BoolQ
-//! (single-token yes/no outputs) on 4 A6000s.
-//!
-//! The EE variant replicates the (large-vocabulary) lm head as a ramp
-//! after every layer, so naive per-layer checking is *slower* than the
-//! vanilla model; E3 checks exits only at its split boundary and beats
-//! both (paper: up to 1.48x over vanilla).
-
-use e3_bench::{takeaway, Table, SEED};
-use e3_hardware::{GpuKind, LatencyModel};
-use e3_model::{zoo, InferenceSim, RampController};
-use e3_runtime::autoreg::{pick_boundary, simulate_autoreg, AutoRegStrategy};
-use e3_workload::DatasetModel;
+//! Fig. 12 — decoder-only LLM generality: Llama-3.1-8B on BoolQ on
+//! 4 A6000s; E3 checks exits only at its split boundary.
 
 fn main() {
-    println!("Figure 12: Llama-3.1-8B goodput (samples/s), BoolQ, 4 x A6000\n");
-    let vanilla = zoo::llama31_8b();
-    let ee = zoo::llama31_8b_ee();
-    let policy = zoo::default_policy("Llama3.1-8b-EE");
-    let ctrl0 = RampController::all_enabled(0, policy.ramp_style());
-    let ctrl = RampController::all_enabled(ee.num_ramps(), policy.ramp_style());
-    let ds = DatasetModel::boolq();
-    let infer = InferenceSim::with_accuracy(ds.base_accuracy);
-    let lm = LatencyModel::new();
-    let boundary = pick_boundary(&ee, &policy, &ctrl, &infer, &ds, 0.5, SEED);
-    println!("profiler: ~50% of inputs exit by layer {boundary} of 32 (paper observes layer 25)\n");
-    // §5.1.3: under E3 exits are checked only at the end of splits.
-    let mut e3_ctrl = ctrl.clone();
-    if let Some(ri) = ee.ramp_after(boundary - 1) {
-        e3_ctrl.keep_only(&[ri]);
-    }
-
-    let batches = [1usize, 2, 4, 8, 16, 32];
-    let cols: Vec<String> = batches.iter().map(|b| format!("b={b}")).collect();
-    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-    let mut t = Table::new("goodput vs batch size", &col_refs);
-    let run = |model: &e3_model::EeModel, c: &RampController, strat: AutoRegStrategy, b: usize| {
-        simulate_autoreg(
-            model,
-            &policy,
-            c,
-            &infer,
-            &ds,
-            strat,
-            GpuKind::A6000,
-            4,
-            b,
-            800,
-            &lm,
-            SEED,
-        )
-        .goodput
-    };
-    let van_row: Vec<f64> = batches
-        .iter()
-        .map(|&b| run(&vanilla, &ctrl0, AutoRegStrategy::VanillaStatic, b))
-        .collect();
-    let ee_row: Vec<f64> = batches
-        .iter()
-        .map(|&b| run(&ee, &ctrl, AutoRegStrategy::NaiveEeBatched, b))
-        .collect();
-    let e3_row: Vec<f64> = batches
-        .iter()
-        .map(|&b| run(&ee, &e3_ctrl, AutoRegStrategy::E3 { boundary }, b))
-        .collect();
-    t.row("Llama3.1-8b", &van_row);
-    t.row("Llama3.1-8b-EE", &ee_row);
-    t.row("E3", &e3_row);
-    t.row(
-        "paper:Llama3.1-8b",
-        &[102.0, 190.0, 328.0, 608.0, 748.0, 852.0],
-    );
-    t.row(
-        "paper:Llama3.1-8b-EE",
-        &[42.0, 68.0, 123.0, 235.0, 397.0, 575.0],
-    );
-    t.row("paper:E3", &[151.0, 274.0, 468.0, 841.0, 1051.0, 1199.0]);
-    t.print();
-    let best = e3_row
-        .iter()
-        .zip(&van_row)
-        .map(|(e, v)| e / v)
-        .fold(0.0f64, f64::max);
-    takeaway(&format!(
-        "naive EE is below vanilla at every batch size (lm-head ramp cost); E3 beats vanilla by up to {best:.2}x (paper 1.48x)"
-    ));
+    print!("{}", e3_bench::figs::fig12_report());
 }

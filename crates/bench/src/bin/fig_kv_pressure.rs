@@ -1,0 +1,6 @@
+//! Memory-pressure sweep: window-level vs continuous batching as the
+//! per-replica KV budget shrinks (the KV-cache memory model's bench).
+
+fn main() {
+    print!("{}", e3_bench::figs::fig_kv_pressure_report());
+}

@@ -9,9 +9,13 @@ use std::fmt::Write as _;
 
 use e3::harness::{build_e3_plan, run_open_loop, HarnessOpts, ModelFamily, SystemKind};
 use e3::{E3Config, E3System};
-use e3_hardware::{ClusterSpec, GpuKind};
-use e3_model::zoo;
-use e3_runtime::FaultPlan;
+use e3_hardware::{ClusterSpec, GpuKind, LatencyModel};
+use e3_model::{zoo, InferenceSim, RampController};
+use e3_runtime::autoreg::{materialize_sequences, AutoRegStrategy};
+use e3_runtime::kernel::EventLog;
+use e3_runtime::{
+    run_continuous, ContinuousConfig, FaultPlan, JoinPolicy, KernelEvent, KvPlan, PreemptMode,
+};
 use e3_simcore::{SimDuration, SimTime};
 use e3_tenancy::{
     ClusterAllocator, DemandProportional, MarginalGoodput, MultiTenantSystem, StaticEven,
@@ -451,6 +455,304 @@ pub fn fig_multitenant_report() -> String {
         gain,
         if floor_ok { "clears" } else { "MISSES" },
         cfg.slo_floor * 100.0,
+    )));
+    out.push('\n');
+    out
+}
+
+/// Shared shape of the autoregressive figures: a batch-size sweep over
+/// three strategies, rendered with the paper's reference rows.
+#[allow(clippy::type_complexity)]
+fn autoreg_sweep(
+    exp: &Experiment,
+    systems: &[(&str, AutoRegStrategy, &RampController)],
+    batches: &[usize],
+    paper_rows: &[(&str, &[f64])],
+) -> (Vec<Vec<f64>>, String) {
+    let cols: Vec<String> = batches.iter().map(|b| format!("b={b}")).collect();
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut t = Table::new("goodput vs batch size", &col_refs);
+    let mut rows = Vec::new();
+    for (name, strat, ctrl) in systems {
+        let gs: Vec<f64> = batches
+            .iter()
+            .map(|&b| exp.run_autoreg(*strat, ctrl, b).goodput)
+            .collect();
+        t.row(*name, &gs);
+        rows.push(gs);
+    }
+    for (label, vals) in paper_rows {
+        t.row(format!("paper:{label}"), vals);
+    }
+    (rows, t.render())
+}
+
+/// Fig. 10 — autoregressive LLM translation (WMT) on 4 A6000s:
+/// T5 vs CALM vs E3, served as continuous batching on the kernel.
+pub fn fig10_report() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 10: translation goodput (samples/s), T5/CALM/E3, 4 x A6000, WMT\n"
+    );
+    let fam = ModelFamily::llm_t5();
+    let exp = Experiment::new(
+        fam.clone(),
+        ClusterSpec::paper_llm_cluster(),
+        DatasetModel::wmt(),
+    )
+    .with_n(600);
+    let ctrl0 = RampController::all_enabled(0, fam.policy.ramp_style());
+    let ctrl = RampController::all_enabled(fam.ee.num_ramps(), fam.policy.ramp_style());
+    let boundary = exp.pick_autoreg_boundary(0.5);
+    let _ = writeln!(
+        out,
+        "E3 splits the decoder at layer {} (decoder layer {}) where token survival falls to 50%\n",
+        boundary,
+        boundary - fam.ee.autoreg().expect("autoreg").encoder_layers
+    );
+    let (rows, table) = autoreg_sweep(
+        &exp,
+        &[
+            ("T5", AutoRegStrategy::VanillaStatic, &ctrl0),
+            ("CALM", AutoRegStrategy::NaiveEeSequential, &ctrl),
+            ("E3", AutoRegStrategy::E3 { boundary }, &ctrl),
+        ],
+        &[1, 2, 4, 8, 16, 32],
+        &[
+            ("T5", &[33.0, 61.0, 75.0, 125.0, 209.0, 341.0]),
+            ("CALM", &[94.0, 96.0, 103.0, 115.0, 120.0, 128.0]),
+            ("E3", &[93.0, 128.0, 213.0, 320.0, 478.0, 663.0]),
+        ],
+    );
+    out.push_str(&table);
+    out.push_str(&takeaway_line(&format!(
+        "CALM wins {:.2}x at b=1 (paper 2.84x) then stagnates; E3 reaches {:.2}x over T5 at b=32",
+        rows[1][0] / rows[0][0],
+        rows[2][5] / rows[0][5]
+    )));
+    out.push('\n');
+    out
+}
+
+/// Fig. 11 — autoregressive summarization (SAMSum) on 4 A6000s.
+/// Variable output lengths make vanilla static batching pay for
+/// stragglers, widening E3's lead (paper: up to 3.8x).
+pub fn fig11_report() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 11: summarization goodput (samples/s), T5/CALM/E3, 4 x A6000, SAMSum\n"
+    );
+    let fam = ModelFamily::llm_t5();
+    let exp = Experiment::new(
+        fam.clone(),
+        ClusterSpec::paper_llm_cluster(),
+        DatasetModel::samsum(),
+    )
+    .with_n(600);
+    let ctrl0 = RampController::all_enabled(0, fam.policy.ramp_style());
+    let ctrl = RampController::all_enabled(fam.ee.num_ramps(), fam.policy.ramp_style());
+    let boundary = exp.pick_autoreg_boundary(0.5);
+    let exp = exp.with_seed(SEED + 1);
+    let (rows, table) = autoreg_sweep(
+        &exp,
+        &[
+            ("T5", AutoRegStrategy::VanillaStatic, &ctrl0),
+            ("CALM", AutoRegStrategy::NaiveEeSequential, &ctrl),
+            ("E3", AutoRegStrategy::E3 { boundary }, &ctrl),
+        ],
+        &[1, 2, 4, 8, 16, 32],
+        &[
+            ("T5", &[63.0, 87.0, 108.0, 134.0, 176.0, 115.0]),
+            ("CALM", &[24.0, 27.0, 86.0, 88.0, 103.0, 103.0]),
+            ("E3", &[38.0, 101.0, 204.0, 283.0, 473.0, 683.0]),
+        ],
+    );
+    out.push_str(&table);
+    let best = rows[2]
+        .iter()
+        .zip(&rows[0])
+        .map(|(e, t)| e / t)
+        .fold(0.0f64, f64::max);
+    out.push_str(&takeaway_line(&format!(
+        "variable lengths amplify E3's win: up to {best:.2}x over T5 (paper up to 3.8x)"
+    )));
+    out.push('\n');
+    out
+}
+
+/// Fig. 12 — decoder-only LLM generality: Llama-3.1-8B on BoolQ
+/// (single-token yes/no outputs) on 4 A6000s. The EE variant replicates
+/// the (large-vocabulary) lm head as a ramp after every layer, so naive
+/// per-layer checking is *slower* than the vanilla model; E3 checks
+/// exits only at its split boundary and beats both.
+pub fn fig12_report() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 12: Llama-3.1-8B goodput (samples/s), BoolQ, 4 x A6000\n"
+    );
+    let fam = ModelFamily::llm_llama();
+    let exp = Experiment::new(
+        fam.clone(),
+        ClusterSpec::paper_llm_cluster(),
+        DatasetModel::boolq(),
+    )
+    .with_n(800);
+    let ctrl0 = RampController::all_enabled(0, fam.policy.ramp_style());
+    let ctrl = RampController::all_enabled(fam.ee.num_ramps(), fam.policy.ramp_style());
+    let boundary = exp.pick_autoreg_boundary(0.5);
+    let _ = writeln!(
+        out,
+        "profiler: ~50% of inputs exit by layer {boundary} of 32 (paper observes layer 25)\n"
+    );
+    // §5.1.3: under E3 exits are checked only at the end of splits.
+    let mut e3_ctrl = ctrl.clone();
+    if let Some(ri) = fam.ee.ramp_after(boundary - 1) {
+        e3_ctrl.keep_only(&[ri]);
+    }
+    let (rows, table) = autoreg_sweep(
+        &exp,
+        &[
+            ("Llama3.1-8b", AutoRegStrategy::VanillaStatic, &ctrl0),
+            ("Llama3.1-8b-EE", AutoRegStrategy::NaiveEeBatched, &ctrl),
+            ("E3", AutoRegStrategy::E3 { boundary }, &e3_ctrl),
+        ],
+        &[1, 2, 4, 8, 16, 32],
+        &[
+            ("Llama3.1-8b", &[102.0, 190.0, 328.0, 608.0, 748.0, 852.0]),
+            ("Llama3.1-8b-EE", &[42.0, 68.0, 123.0, 235.0, 397.0, 575.0]),
+            ("E3", &[151.0, 274.0, 468.0, 841.0, 1051.0, 1199.0]),
+        ],
+    );
+    out.push_str(&table);
+    let best = rows[2]
+        .iter()
+        .zip(&rows[0])
+        .map(|(e, v)| e / v)
+        .fold(0.0f64, f64::max);
+    out.push_str(&takeaway_line(&format!(
+        "naive EE is below vanilla at every batch size (lm-head ramp cost); E3 beats vanilla by up to {best:.2}x (paper 1.48x)"
+    )));
+    out.push('\n');
+    out
+}
+
+/// One point of the memory-pressure sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct KvPressurePoint {
+    /// Per-replica KV budget in resident tokens.
+    pub capacity_tokens: usize,
+    /// Goodput under window-level (padded static) batching.
+    pub window_goodput: f64,
+    /// Goodput under continuous batching.
+    pub continuous_goodput: f64,
+    /// KV admissions observed in the continuous run.
+    pub admitted: usize,
+    /// KV preemptions observed in the continuous run.
+    pub preempted: u64,
+}
+
+/// Sweeps the per-replica KV budget for CALM-T5 on SAMSum (variable
+/// output lengths) at b=16 on 4 A6000s, serving the same materialized
+/// sequences under window-level batching and continuous batching. Every
+/// run goes through [`run_continuous`] with a [`KvPlan`], so admissions
+/// and preemptions come from the kernel's typed event stream.
+pub fn kv_pressure_sweep() -> Vec<KvPressurePoint> {
+    let fam = ModelFamily::llm_t5();
+    let ctrl = RampController::all_enabled(fam.ee.num_ramps(), fam.policy.ramp_style());
+    let ds = DatasetModel::samsum();
+    let infer = InferenceSim::with_accuracy(ds.base_accuracy);
+    let lm = LatencyModel::new();
+    let specs = materialize_sequences(&fam.ee, &fam.policy, &ctrl, &infer, &ds, 400, SEED);
+    let kv_rate = fam.ee.autoreg().expect("autoreg").kv_bytes_per_token;
+    let mut points = Vec::new();
+    for cap in [64usize, 128, 256, 512, 1024] {
+        let run = |join: JoinPolicy, log: &mut EventLog| {
+            let cfg = ContinuousConfig {
+                model: &fam.ee,
+                ctrl: &ctrl,
+                gpu: GpuKind::A6000,
+                lm: &lm,
+                join,
+                b0: 16,
+                replicas_a: 4,
+                boundary: None,
+                replicas_b: 0,
+                deferred_exits: false,
+                kv: Some(KvPlan {
+                    capacity_tokens: cap,
+                    bytes_per_token: kv_rate,
+                    mode: PreemptMode::Recompute,
+                }),
+                slo: SimDuration::from_secs(86_400),
+                fault_plan: FaultPlan::new(),
+                b_max_wait: None,
+            };
+            run_continuous(&cfg, &specs, log)
+        };
+        let mut wlog = EventLog::new();
+        let window = run(JoinPolicy::Window { padded: true }, &mut wlog);
+        let mut clog = EventLog::new();
+        let cont = run(JoinPolicy::Continuous, &mut clog);
+        points.push(KvPressurePoint {
+            capacity_tokens: cap,
+            window_goodput: window.report.goodput(),
+            continuous_goodput: cont.report.goodput(),
+            admitted: clog.count(|e| matches!(e, KernelEvent::KvAdmitted { .. })),
+            preempted: cont.report.kv_preemptions,
+        });
+    }
+    points
+}
+
+/// Memory-pressure sweep — goodput of window-level vs continuous
+/// batching as the per-replica KV budget shrinks (the new bench backing
+/// the KV-cache memory model).
+pub fn fig_kv_pressure_report() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "KV pressure: window vs continuous batching under finite KV budgets, CALM-T5, SAMSum, b=16, 4 x A6000\n"
+    );
+    let points = kv_pressure_sweep();
+    let cols: Vec<String> = points
+        .iter()
+        .map(|p| format!("cap={}", p.capacity_tokens))
+        .collect();
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut t = Table::new("goodput vs per-replica KV budget (tokens)", &col_refs);
+    let wrow: Vec<f64> = points.iter().map(|p| p.window_goodput).collect();
+    let crow: Vec<f64> = points.iter().map(|p| p.continuous_goodput).collect();
+    t.row("window", &wrow);
+    t.row("continuous", &crow);
+    t.row_fmt(
+        "cont/win",
+        &points
+            .iter()
+            .map(|p| p.continuous_goodput / p.window_goodput)
+            .collect::<Vec<_>>(),
+        2,
+    );
+    t.row(
+        "kv admits (cont)",
+        &points.iter().map(|p| p.admitted as f64).collect::<Vec<_>>(),
+    );
+    t.row(
+        "kv preempts (cont)",
+        &points
+            .iter()
+            .map(|p| p.preempted as f64)
+            .collect::<Vec<_>>(),
+    );
+    out.push_str(&t.render());
+    let best = points
+        .iter()
+        .map(|p| p.continuous_goodput / p.window_goodput)
+        .fold(0.0f64, f64::max);
+    out.push_str(&takeaway_line(&format!(
+        "freed slots refill mid-flight: continuous batching beats window batching at every budget, up to {best:.2}x under pressure"
     )));
     out.push('\n');
     out

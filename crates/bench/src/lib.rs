@@ -155,6 +155,8 @@ pub mod exp {
     use super::{Table, RUN_N, SEED};
     use e3::harness::{run_closed_loop, run_open_loop, HarnessOpts, ModelFamily, SystemKind};
     use e3_hardware::ClusterSpec;
+    use e3_model::{InferenceSim, RampController};
+    use e3_runtime::autoreg::{pick_boundary, simulate_autoreg, AutoRegReport, AutoRegStrategy};
     use e3_runtime::RunReport;
     use e3_workload::{DatasetModel, WorkloadGenerator};
 
@@ -252,6 +254,66 @@ pub mod exp {
         /// Goodput of one measurement point.
         pub fn goodput(&self, kind: SystemKind, batch: usize) -> f64 {
             self.run(kind, batch).goodput()
+        }
+
+        /// Picks the E3 decoder boundary for the context's EE model: the
+        /// first decoder layer where token survival on this dataset falls
+        /// to `frac` (see [`pick_boundary`]).
+        pub fn pick_autoreg_boundary(&self, frac: f64) -> usize {
+            let ctrl = RampController::all_enabled(
+                self.family.ee.num_ramps(),
+                self.family.policy.ramp_style(),
+            );
+            let infer = InferenceSim::with_accuracy(self.dataset.base_accuracy);
+            pick_boundary(
+                &self.family.ee,
+                &self.family.policy,
+                &ctrl,
+                &infer,
+                &self.dataset,
+                frac,
+                self.seed,
+            )
+        }
+
+        /// Runs one closed-loop *autoregressive* measurement point
+        /// through the kernel's continuous-batching driver
+        /// ([`e3_runtime::run_continuous`] via
+        /// [`e3_runtime::autoreg::simulate_autoreg`]). The strategy picks
+        /// the model: vanilla static batching serves the stock model,
+        /// everything else the EE variant. Requires a homogeneous
+        /// cluster (the paper's LLM experiments use 4 identical A6000s).
+        pub fn run_autoreg(
+            &self,
+            strat: AutoRegStrategy,
+            ctrl: &RampController,
+            batch: usize,
+        ) -> AutoRegReport {
+            let kinds = self.cluster.kinds();
+            assert_eq!(
+                kinds.len(),
+                1,
+                "autoregressive serving expects a homogeneous cluster"
+            );
+            let model = self.family.model_for(match strat {
+                AutoRegStrategy::VanillaStatic => SystemKind::Vanilla,
+                _ => SystemKind::NaiveEe,
+            });
+            let infer = InferenceSim::with_accuracy(self.dataset.base_accuracy);
+            simulate_autoreg(
+                model,
+                &self.family.policy,
+                ctrl,
+                &infer,
+                &self.dataset,
+                strat,
+                kinds[0],
+                self.cluster.num_gpus(),
+                batch,
+                self.n,
+                &self.family.latency_model(),
+                self.seed,
+            )
         }
 
         /// The standard three-way comparison, labeled: the stock model

@@ -91,6 +91,28 @@ impl ModelFamily {
         }
     }
 
+    /// T5 / CALM-T5 (figs. 10–11, autoregressive translation and
+    /// summarization).
+    pub fn llm_t5() -> Self {
+        ModelFamily {
+            stock: zoo::t5(),
+            ee: zoo::calm_t5(),
+            policy: zoo::default_policy("CALM"),
+            overheads: ExitOverheads::default(),
+        }
+    }
+
+    /// Llama-3.1-8B / its per-layer-exit variant (fig. 12,
+    /// autoregressive BoolQ).
+    pub fn llm_llama() -> Self {
+        ModelFamily {
+            stock: zoo::llama31_8b(),
+            ee: zoo::llama31_8b_ee(),
+            policy: zoo::default_policy("Llama3.1-8b-EE"),
+            overheads: ExitOverheads::default(),
+        }
+    }
+
     /// The calibrated latency model with this family's exit overheads.
     pub fn latency_model(&self) -> LatencyModel {
         LatencyModel {
@@ -205,6 +227,34 @@ pub fn run_closed_loop(
     opts: &HarnessOpts,
     seed: u64,
 ) -> RunReport {
+    run_closed_loop_observed(
+        kind,
+        family,
+        cluster,
+        batch,
+        dataset,
+        n,
+        opts,
+        seed,
+        &mut e3_runtime::kernel::NullObserver,
+    )
+}
+
+/// [`run_closed_loop`], streaming the kernel's typed events to
+/// `observer`. The serial (`pipelining == false`) E3 path runs outside
+/// the kernel and streams nothing.
+#[allow(clippy::too_many_arguments)]
+pub fn run_closed_loop_observed(
+    kind: SystemKind,
+    family: &ModelFamily,
+    cluster: &ClusterSpec,
+    batch: usize,
+    dataset: &DatasetModel,
+    n: usize,
+    opts: &HarnessOpts,
+    seed: u64,
+    observer: &mut dyn e3_runtime::RunObserver,
+) -> RunReport {
     let model = family.model_for(kind);
     let infer = InferenceSim::with_accuracy(dataset.base_accuracy);
     if kind == SystemKind::E3 && !opts.pipelining {
@@ -260,7 +310,7 @@ pub fn run_closed_loop(
         .with_straggler_detection(opts.detect_stragglers)
         .build();
     let reqs = closed_loop_requests(dataset, n, SeedSplitter::new(seed).derive("requests"));
-    sim.run(&reqs, SeedSplitter::new(seed).derive("run"))
+    sim.run_observed(&reqs, SeedSplitter::new(seed).derive("run"), observer)
 }
 
 /// Runs an open-loop experiment over a pre-generated workload.

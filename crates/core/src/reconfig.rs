@@ -165,6 +165,8 @@ mod tests {
             shed: 0,
             transfer_retries: 0,
             transfer_aborts: 0,
+            tokens_generated: 0,
+            kv_preemptions: 0,
         }
     }
 

@@ -30,4 +30,4 @@ pub use cluster::{ClusterSpec, GpuInstance, MachineSpec};
 pub use gpu::GpuKind;
 pub use interconnect::{LinkKind, TransferModel};
 pub use latency::{ExitOverheads, LatencyModel};
-pub use memory::MemoryFootprint;
+pub use memory::{KvCacheSpec, MemoryFootprint};

@@ -120,7 +120,22 @@ impl EeModelBuilder {
                 fixed_us: head_fixed_us,
                 output_bytes: 4,
             },
+            kv_bytes_per_token: 0.0,
         });
+        self
+    }
+
+    /// Sets the KV-cache growth per generated token (bytes across the
+    /// whole decoder). Requires [`ModelBuilder::autoregressive`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model was not marked autoregressive yet.
+    pub fn kv_bytes_per_token(mut self, bytes: f64) -> Self {
+        self.autoreg
+            .as_mut()
+            .expect("call autoregressive() before kv_bytes_per_token()")
+            .kv_bytes_per_token = bytes;
         self
     }
 

@@ -65,6 +65,30 @@ pub struct AutoRegSpec {
     /// of the decoder layers (and at every ramp for EE variants, which is
     /// what makes naive Llama-EE slow — fig. 12).
     pub lm_head: LayerSpec,
+    /// KV-cache bytes a sequence accumulates per generated token across
+    /// the whole decoder (keys + values, every attention layer). Zero
+    /// means "not modeled" and disables KV-capacity accounting.
+    pub kv_bytes_per_token: f64,
+}
+
+impl AutoRegSpec {
+    /// KV bytes per token attributable to the decoder layer range
+    /// `layers ∩ [enc, total)`, assuming the cache is spread evenly over
+    /// the decoder layers — how a split plan apportions a sequence's
+    /// cache across stages.
+    pub fn kv_bytes_per_token_in(
+        &self,
+        layers: std::ops::Range<usize>,
+        total_layers: usize,
+    ) -> f64 {
+        let dec_total = total_layers.saturating_sub(self.encoder_layers);
+        if dec_total == 0 {
+            return 0.0;
+        }
+        let start = layers.start.max(self.encoder_layers);
+        let dec_in = layers.end.saturating_sub(start);
+        self.kv_bytes_per_token * dec_in as f64 / dec_total as f64
+    }
 }
 
 /// Errors raised while constructing or validating a model.
@@ -182,6 +206,9 @@ impl EeModel {
             }
             if !(ar.lm_head.work_us >= 0.0 && ar.lm_head.work_us.is_finite()) {
                 return Err(ModelError::InvalidCost { what: "lm head" });
+            }
+            if !(ar.kv_bytes_per_token >= 0.0 && ar.kv_bytes_per_token.is_finite()) {
+                return Err(ModelError::InvalidCost { what: "kv cache" });
             }
         }
         Ok(EeModel {
@@ -420,6 +447,7 @@ mod tests {
         let ar = AutoRegSpec {
             encoder_layers: 5,
             lm_head: layer(),
+            kv_bytes_per_token: 0.0,
         };
         assert_eq!(
             EeModel::new(

@@ -182,6 +182,9 @@ pub fn t5() -> EeModel {
                 fixed_us: 40.0,
                 output_bytes: 4,
             },
+            // 8 decoder layers x 2 attention blocks (self + cross) x
+            // K,V x 768 hidden x fp16: ~48 KiB per generated token.
+            kv_bytes_per_token: 49_152.0,
         }),
     )
     .expect("static model definition")
@@ -227,6 +230,9 @@ pub fn llama31_8b() -> EeModel {
                 fixed_us: 200.0,
                 output_bytes: 4,
             },
+            // 32 decoder layers x K,V x 4096 hidden x fp16: 512 KiB per
+            // generated (or cached prompt) token.
+            kv_bytes_per_token: 524_288.0,
         }),
     )
     .expect("static model definition")
@@ -436,5 +442,30 @@ mod tests {
             ExitPolicy::Learned { threshold: 0.6 }
         );
         assert_eq!(default_policy("ELBERT"), ExitPolicy::Voting { quorum: 4 });
+    }
+
+    #[test]
+    fn llm_kv_growth_is_calibrated() {
+        // Llama-3.1-8B: 2 x 32 layers x 4096 x fp16 = 512 KiB/token.
+        let llama = llama31_8b().autoreg().copied().expect("autoreg");
+        assert_eq!(llama.kv_bytes_per_token, 524_288.0);
+        // T5/CALM share the same (much smaller) decoder cache.
+        let t5_ar = t5().autoreg().copied().expect("autoreg");
+        assert_eq!(t5_ar.kv_bytes_per_token, 49_152.0);
+        assert_eq!(
+            calm_t5().autoreg().expect("autoreg").kv_bytes_per_token,
+            t5_ar.kv_bytes_per_token
+        );
+        // Per-stage apportioning: half the Llama decoder holds half the
+        // cache; the T5 encoder prefix holds none.
+        assert_eq!(
+            llama.kv_bytes_per_token_in(0..16, 32),
+            llama.kv_bytes_per_token / 2.0
+        );
+        assert_eq!(t5_ar.kv_bytes_per_token_in(0..8, 16), 0.0);
+        assert_eq!(
+            t5_ar.kv_bytes_per_token_in(8..16, 16),
+            t5_ar.kv_bytes_per_token
+        );
     }
 }

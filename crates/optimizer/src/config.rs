@@ -31,6 +31,13 @@ pub struct OptimizerConfig {
     /// stage count; each extra stage must beat the simpler plan by this
     /// margin to be chosen.
     pub stage_overhead_frac: f64,
+    /// Treat device memory as a first-class planning dimension: candidate
+    /// splits whose weights plus double-buffered activations do not fit
+    /// their GPU are excluded from the DP's transition set (§3.1's
+    /// resource safety check, applied during search rather than post hoc).
+    /// If no memory-feasible plan exists at all, the optimizer falls back
+    /// to the unconstrained plan so callers still get a best effort.
+    pub enforce_memory: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -44,6 +51,7 @@ impl Default for OptimizerConfig {
             max_cost_per_sec: None,
             min_goodput: None,
             stage_overhead_frac: 0.05,
+            enforce_memory: true,
         }
     }
 }

@@ -24,7 +24,7 @@ use e3_simcore::SimDuration;
 
 use crate::config::OptimizerConfig;
 use crate::plan::{Split, SplitPlan};
-use crate::stage::{boundary_transfer_surviving, stage_cost};
+use crate::stage::{boundary_transfer_surviving, stage_cost, stage_fits};
 
 /// Optimizes splits for `num_gpus` identical `gpu` devices at input batch
 /// `b0`.
@@ -77,13 +77,22 @@ fn pipelined_dp(
     // Precompute per-range one-replica stage batch times (seconds) and
     // survival-in; effective time for m' replicas derives from them.
     // t1[s][j] = survival_in(s) * batch_time(s..j) for one replica.
-    let mut t1 = vec![vec![0.0f64; l + 1]; l + 1];
-    for s in 0..l {
-        for j in s + 1..=l {
-            let sc = stage_cost(model, ctrl, profile, s..j, b0, gpu, 1, lm);
-            t1[s][j] = sc.effective_time.as_secs_f64();
+    // Memory is a first-class dimension: a range whose weights plus
+    // activations overflow the device is not a legal transition. If that
+    // leaves no plan at all, retry unconstrained (best effort).
+    let fill_t1 = |check_memory: bool| {
+        let mut t1 = vec![vec![f64::INFINITY; l + 1]; l + 1];
+        for s in 0..l {
+            for j in s + 1..=l {
+                if check_memory && !stage_fits(model, s..j, b0, gpu) {
+                    continue;
+                }
+                let sc = stage_cost(model, ctrl, profile, s..j, b0, gpu, 1, lm);
+                t1[s][j] = sc.effective_time.as_secs_f64();
+            }
         }
-    }
+        t1
+    };
     // tx[s-1] = surviving-batch transfer entering the boundary at layer
     // s. In the pipeline's steady state each receiving replica absorbs
     // one batch every `m'` cycles, so the DP divides by the last stage's
@@ -96,42 +105,57 @@ fn pipelined_dp(
     let max_splits = cfg.max_splits.max(1);
     // Layered DP: best[k][j][g] = best bottleneck for layers 0..j using
     // at most k stages and at most g GPUs.
-    let mut best = vec![vec![vec![INF; m + 1]; l + 1]; max_splits + 1];
-    let mut par = vec![vec![vec![(0usize, 0usize); m + 1]; l + 1]; max_splits + 1];
-    for k in 0..=max_splits {
-        for g in 0..=m {
-            best[k][0][g] = 0.0;
+    type DpTables = (Vec<Vec<Vec<f64>>>, Vec<Vec<Vec<(usize, usize)>>>);
+    let run_dp = |t1: &[Vec<f64>]| -> DpTables {
+        let mut best = vec![vec![vec![INF; m + 1]; l + 1]; max_splits + 1];
+        let mut par = vec![vec![vec![(0usize, 0usize); m + 1]; l + 1]; max_splits + 1];
+        for k in 0..=max_splits {
+            for g in 0..=m {
+                best[k][0][g] = 0.0;
+            }
         }
-    }
-    for k in 1..=max_splits {
-        for j in 1..=l {
-            for g in 1..=m {
-                // carry over plans with fewer stages
-                if best[k - 1][j][g] < best[k][j][g] {
-                    best[k][j][g] = best[k - 1][j][g];
-                    par[k][j][g] = par[k - 1][j][g];
-                }
-                for s in 0..j {
-                    for mp in 1..=g {
-                        let prefix_g = g - mp;
-                        if s > 0 && prefix_g == 0 {
-                            continue; // prefix needs at least one GPU
+        for k in 1..=max_splits {
+            for j in 1..=l {
+                for g in 1..=m {
+                    // carry over plans with fewer stages
+                    if best[k - 1][j][g] < best[k][j][g] {
+                        best[k][j][g] = best[k - 1][j][g];
+                        par[k][j][g] = par[k - 1][j][g];
+                    }
+                    for s in 0..j {
+                        if !t1[s][j].is_finite() {
+                            continue; // memory-infeasible range
                         }
-                        let prefix = best[k - 1][s][prefix_g];
-                        if !prefix.is_finite() {
-                            continue;
-                        }
-                        let link = if s == 0 { 0.0 } else { tx[s - 1] / mp as f64 };
-                        let stage = t1[s][j] / mp as f64;
-                        let cand = prefix.max(link).max(stage);
-                        if cand < best[k][j][g] {
-                            best[k][j][g] = cand;
-                            par[k][j][g] = (s, mp);
+                        for mp in 1..=g {
+                            let prefix_g = g - mp;
+                            if s > 0 && prefix_g == 0 {
+                                continue; // prefix needs at least one GPU
+                            }
+                            let prefix = best[k - 1][s][prefix_g];
+                            if !prefix.is_finite() {
+                                continue;
+                            }
+                            let link = if s == 0 { 0.0 } else { tx[s - 1] / mp as f64 };
+                            let stage = t1[s][j] / mp as f64;
+                            let cand = prefix.max(link).max(stage);
+                            if cand < best[k][j][g] {
+                                best[k][j][g] = cand;
+                                par[k][j][g] = (s, mp);
+                            }
                         }
                     }
                 }
             }
         }
+        (best, par)
+    };
+    let t1 = fill_t1(cfg.enforce_memory);
+    let (mut best, mut par) = run_dp(&t1);
+    if cfg.enforce_memory && !(1..=max_splits).any(|k| best[k][l][m].is_finite()) {
+        // No memory-feasible chain exists under the split/GPU budget:
+        // fall back to the unconstrained search (best effort).
+        let t1 = fill_t1(false);
+        (best, par) = run_dp(&t1);
     }
 
     // Pick the stage budget k whose penalized bottleneck is best: extra
@@ -200,13 +224,21 @@ fn serial_dp(
     // bounded by max_splits via layered DP.
     let max_splits = cfg.max_splits.max(1);
     const INF: f64 = f64::INFINITY;
-    let mut t1 = vec![vec![0.0f64; l + 1]; l + 1];
-    for s in 0..l {
-        for j in s + 1..=l {
-            let sc = stage_cost(model, ctrl, profile, s..j, b0, gpu, 1, lm);
-            t1[s][j] = sc.effective_time.as_secs_f64();
+    // Memory is first-class here too: infeasible ranges are INF and can
+    // never enter a finite chain; retry unconstrained if nothing fits.
+    let fill_t1 = |check_memory: bool| {
+        let mut t1 = vec![vec![INF; l + 1]; l + 1];
+        for s in 0..l {
+            for j in s + 1..=l {
+                if check_memory && !stage_fits(model, s..j, b0, gpu) {
+                    continue;
+                }
+                let sc = stage_cost(model, ctrl, profile, s..j, b0, gpu, 1, lm);
+                t1[s][j] = sc.effective_time.as_secs_f64();
+            }
         }
-    }
+        t1
+    };
     let tx: Vec<f64> = (0..=l)
         .map(|s| {
             if s == 0 || s == l {
@@ -216,24 +248,37 @@ fn serial_dp(
             }
         })
         .collect();
-    let mut best = vec![vec![INF; l + 1]; max_splits + 1];
-    let mut par = vec![vec![0usize; l + 1]; max_splits + 1];
-    for k in 0..=max_splits {
-        best[k][0] = 0.0;
-    }
-    for k in 1..=max_splits {
-        for j in 1..=l {
-            best[k][j] = best[k - 1][j];
-            par[k][j] = par[k - 1][j];
-            for s in 0..j {
-                let cand = best[k - 1][s] + tx[s] + t1[s][j];
-                if cand < best[k][j] {
-                    best[k][j] = cand;
-                    par[k][j] = s;
+    let run_dp = |t1: &[Vec<f64>]| -> (Vec<Vec<f64>>, Vec<Vec<usize>>) {
+        let mut best = vec![vec![INF; l + 1]; max_splits + 1];
+        let mut par = vec![vec![0usize; l + 1]; max_splits + 1];
+        for k in 0..=max_splits {
+            best[k][0] = 0.0;
+        }
+        for k in 1..=max_splits {
+            for j in 1..=l {
+                best[k][j] = best[k - 1][j];
+                par[k][j] = par[k - 1][j];
+                for s in 0..j {
+                    let cand = best[k - 1][s] + tx[s] + t1[s][j];
+                    if cand < best[k][j] {
+                        best[k][j] = cand;
+                        par[k][j] = s;
+                    }
                 }
             }
         }
+        (best, par)
+    };
+    let t1 = fill_t1(cfg.enforce_memory);
+    let (mut best, mut par) = run_dp(&t1);
+    if cfg.enforce_memory && !best[max_splits][l].is_finite() {
+        let t1 = fill_t1(false);
+        (best, par) = run_dp(&t1);
     }
+    assert!(
+        best[max_splits][l].is_finite(),
+        "serial DP failed to cover the model"
+    );
     let mut cuts = Vec::new();
     let mut j = l;
     let mut k = max_splits;
@@ -569,6 +614,95 @@ mod tests {
             );
             prev = plan.goodput;
         }
+    }
+
+    #[test]
+    fn memory_constraint_forces_extra_splits() {
+        // Llama-class weights (~4.4 GB fp16) plus double-buffered 4 MiB
+        // activations at b=1000 overflow a 12 GiB K80 as one stage, but
+        // halves fit. With memory enforced the DP must cut the model;
+        // unconstrained it happily keeps one (infeasible) split.
+        let (_, _, lm, tm) = setup();
+        let m = zoo::llama31_8b();
+        let ctrl = RampController::all_enabled(m.num_ramps(), RampStyle::Independent);
+        let profile = BatchProfile::no_exits(m.num_layers());
+        let cfg = OptimizerConfig::default();
+        let free = OptimizerConfig {
+            enforce_memory: false,
+            ..cfg
+        };
+        let constrained =
+            optimize_homogeneous(&m, &ctrl, &profile, GpuKind::K80, 4, 1000.0, &tm, &lm, &cfg);
+        let unconstrained = optimize_homogeneous(
+            &m,
+            &ctrl,
+            &profile,
+            GpuKind::K80,
+            4,
+            1000.0,
+            &tm,
+            &lm,
+            &free,
+        );
+        assert!(
+            constrained.memory_feasible(&m),
+            "constrained plan must fit: {constrained}"
+        );
+        assert!(
+            !unconstrained.memory_feasible(&m),
+            "sanity: the unconstrained plan should overflow: {unconstrained}"
+        );
+        assert!(
+            constrained.num_splits() > unconstrained.num_splits(),
+            "memory should force cuts: {constrained} vs {unconstrained}"
+        );
+    }
+
+    #[test]
+    fn memory_infeasible_everywhere_falls_back() {
+        // At b=3000 the double-buffered activations alone (~25 GB) exceed
+        // the K80's budget for every layer range, so no feasible chain
+        // exists; the optimizer must fall back to the unconstrained plan
+        // rather than panic or return nothing.
+        let (_, _, lm, tm) = setup();
+        let m = zoo::llama31_8b();
+        let ctrl = RampController::all_enabled(m.num_ramps(), RampStyle::Independent);
+        let profile = BatchProfile::no_exits(m.num_layers());
+        let cfg = OptimizerConfig::default();
+        let free = OptimizerConfig {
+            enforce_memory: false,
+            ..cfg
+        };
+        let fallback =
+            optimize_homogeneous(&m, &ctrl, &profile, GpuKind::K80, 4, 3000.0, &tm, &lm, &cfg);
+        let unconstrained = optimize_homogeneous(
+            &m,
+            &ctrl,
+            &profile,
+            GpuKind::K80,
+            4,
+            3000.0,
+            &tm,
+            &lm,
+            &free,
+        );
+        assert_eq!(fallback, unconstrained);
+    }
+
+    #[test]
+    fn serial_mode_honors_memory_too() {
+        let (_, _, lm, tm) = setup();
+        let m = zoo::llama31_8b();
+        let ctrl = RampController::all_enabled(m.num_ramps(), RampStyle::Independent);
+        let profile = BatchProfile::no_exits(m.num_layers());
+        let cfg = OptimizerConfig {
+            pipelining: false,
+            ..Default::default()
+        };
+        let plan =
+            optimize_homogeneous(&m, &ctrl, &profile, GpuKind::K80, 4, 1000.0, &tm, &lm, &cfg);
+        assert!(plan.num_splits() >= 2, "{plan}");
+        assert!(plan.memory_feasible(&m), "{plan}");
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 pub mod ablation;
 pub mod auto;
+pub mod autoreg_split;
 pub mod config;
 pub mod dp;
 pub mod hetero;
@@ -47,6 +48,7 @@ pub use auto::{
     best_plan_over_batches, min_cost_for_goodput, min_gpus_for_goodput, plan_feasible,
     plan_for_cluster,
 };
+pub use autoreg_split::{plan_autoreg_split, AutoRegSplitPlan};
 pub use config::OptimizerConfig;
 pub use dp::optimize_homogeneous;
 pub use hetero::optimize_heterogeneous;

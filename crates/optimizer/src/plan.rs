@@ -109,19 +109,8 @@ impl SplitPlan {
     /// fit its replicas' device memory (§3.1's resource safety check).
     /// Parameter counts are estimated from the calibrated compute costs.
     pub fn memory_feasible(&self, model: &e3_model::EeModel) -> bool {
-        use e3_hardware::memory::{params_from_work_us, MemoryFootprint};
         self.splits.iter().all(|split| {
-            let params: f64 = split
-                .layers
-                .clone()
-                .map(|k| params_from_work_us(model.layers()[k].work_us))
-                .sum();
-            let widest = split
-                .layers
-                .clone()
-                .map(|k| model.layers()[k].output_bytes as f64)
-                .fold(0.0f64, f64::max);
-            MemoryFootprint::new(params, widest).fits(split.batch, split.gpu)
+            crate::stage::stage_fits(model, split.layers.clone(), split.batch, split.gpu)
         })
     }
 }

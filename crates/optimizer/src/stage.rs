@@ -110,6 +110,22 @@ pub fn stage_cost(
     }
 }
 
+/// Whether one replica of the stage `layers` fits `gpu`'s memory at
+/// batch `b0`: estimated weights (from the calibrated compute costs) plus
+/// double-buffered activations, per the §3.1 resource safety check. The
+/// DP uses this to prune memory-infeasible transitions.
+pub fn stage_fits(model: &EeModel, layers: Range<usize>, b0: f64, gpu: GpuKind) -> bool {
+    use e3_hardware::memory::{params_from_work_us, MemoryFootprint};
+    let params: f64 = layers
+        .clone()
+        .map(|k| params_from_work_us(model.layers()[k].work_us))
+        .sum();
+    let widest = layers
+        .map(|k| model.layers()[k].output_bytes as f64)
+        .fold(0.0f64, f64::max);
+    MemoryFootprint::new(params, widest).fits(b0, gpu)
+}
+
 /// The activation-transfer time charged at the boundary entering
 /// `next_start` (the paper's `Tx(s, s+1)`): one refused batch of `b0`
 /// samples of the boundary's activation size.

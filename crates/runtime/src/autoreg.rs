@@ -1,42 +1,40 @@
-//! Autoregressive serving simulation (§5.1.3, figs. 10–12).
+//! Autoregressive serving strategies (§5.1.3, figs. 10–12) — a thin
+//! compatibility shim over the kernel's continuous-batching driver.
 //!
-//! Generative models run their decoder once per output token, so the
-//! early-exit batching problem recurs *within every iteration*: tokens
-//! that exit at shallow decoder layers shrink the batch for the deeper
-//! layers of that pass. This module computes closed-loop goodput for the
-//! four serving shapes the paper compares:
+//! Historically this module carried its own window-level batch loop and
+//! an analytic pipeline-bottleneck evaluation. Both are gone: every
+//! strategy now materializes per-token journeys and runs them through
+//! [`crate::kernel::run_continuous`], so LLM serving shares the kernel's
+//! event clock, typed observer stream, fault vocabulary, and accounting
+//! with everything else the runtime serves. What remains here is the
+//! mapping from the paper's four serving shapes onto a
+//! [`crate::kernel::ContinuousConfig`]:
 //!
-//! * **vanilla static batching** — the whole batch decodes until its
-//!   *longest* member finishes (stragglers waste compute on padded
-//!   slots, which is why E3's wins grow on variable-length
-//!   summarization);
+//! * **vanilla static batching** — [`JoinPolicy::Window`] with padding:
+//!   the batch decodes until its *longest* member finishes and freed
+//!   slots cannot be refilled mid-window;
 //! * **CALM-style sequential** — per-token exits but no batching at all
-//!   (the CALM paper disables batching; goodput stagnates as the offered
-//!   batch grows);
-//! * **naive batched EE** — exits with batching, every ramp checked
+//!   (the CALM paper disables batching): continuous joining at width 1;
+//! * **naive batched EE** — an unpadded window with every ramp checked
 //!   (the Llama-EE construction; the large lm-head ramp cost makes this
 //!   *slower* than vanilla);
-//! * **E3** — the decoder split at a profile-chosen boundary, stages
-//!   allocated across GPUs, full batches re-fused at the boundary.
-//!
-//! The simulator materializes per-token exit depths from the synthetic
-//! semantics and evaluates steady-state throughput analytically (pipeline
-//! bottleneck), which matches the closed-loop setting of the paper's LLM
-//! experiments.
-//!
-//! The baseline arms share the kernel's accounting primitives: batch
-//! wall-time accumulates on an [`EventQueue`] clock in integer-nanosecond
-//! [`SimDuration`]s (the E3 arm's pipeline-bottleneck math stays in
-//! floating seconds — it is an analytic rate, not a clock).
+//! * **E3** — a two-stage continuous deployment split at a
+//!   profile-chosen boundary, full batches re-fused before the deep
+//!   layers, exits deferred to the boundary, GPUs allocated across the
+//!   stage groups by a pipeline-bottleneck search.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use e3_hardware::{GpuKind, LatencyModel};
 use e3_model::{EeModel, ExitPolicy, InferenceSim, RampController};
-use e3_simcore::stats;
-use e3_simcore::{EventQueue, SimDuration, SimTime};
+use e3_simcore::{stats, SimDuration, SimTime};
 use e3_workload::DatasetModel;
+
+use crate::kernel::{
+    run_continuous, ContinuousConfig, FaultPlan, JoinPolicy, NullObserver, SequenceSpec,
+    TokenJourney,
+};
 
 /// How the autoregressive model is served.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,18 +67,124 @@ pub struct AutoRegReport {
     pub boundary_survival: f64,
 }
 
-/// Per-token materialized journey.
-struct Token {
-    /// Absolute layers executed (including any encoder prefix).
-    layers_executed: usize,
-    /// Ramp indices whose cost was paid.
-    ramps_paid: Vec<usize>,
+/// Materializes `n_requests` requests — output length plus one journey
+/// per token — exactly as the legacy simulator drew them, so seeds keep
+/// their meaning across the port.
+pub fn materialize_sequences(
+    model: &EeModel,
+    policy: &ExitPolicy,
+    ctrl: &RampController,
+    infer: &InferenceSim,
+    dataset: &DatasetModel,
+    n_requests: usize,
+    seed: u64,
+) -> Vec<SequenceSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut specs = Vec::with_capacity(n_requests);
+    for i in 0..n_requests {
+        let len = dataset.output_len.sample(&mut rng).max(1) as usize;
+        let mut tokens = Vec::with_capacity(len);
+        for _ in 0..len {
+            let h = dataset.sample_hardness(&mut rng);
+            let out = infer.run_sample(model, policy, ctrl, h, &mut rng);
+            tokens.push(TokenJourney {
+                layers_executed: out.layers_executed,
+            });
+        }
+        specs.push(SequenceSpec {
+            id: i as u64,
+            arrival: SimTime::ZERO,
+            tokens,
+        });
+    }
+    specs
+}
+
+/// Splits `n_gpus` between the two stage groups of an E3 deployment so
+/// the pipeline bottleneck `max(t_a/m_a, f*t_b/m_b)` is minimized, where
+/// `f` is boundary survival. Returns `(m_a, m_b)`; `m_b = 0` when only
+/// one GPU is available (the stages then share it serially).
+#[allow(clippy::too_many_arguments)]
+fn allocate_split(
+    model: &EeModel,
+    ctrl: &RampController,
+    lm: &LatencyModel,
+    gpu: GpuKind,
+    specs: &[SequenceSpec],
+    boundary: usize,
+    b0: usize,
+    n_gpus: usize,
+) -> (usize, usize) {
+    if n_gpus == 1 {
+        return (1, 0);
+    }
+    let ar = model.autoreg().expect("autoregressive model required");
+    let enc = ar.encoder_layers;
+    let layer_cost = |k: usize| {
+        let l = model.layers()[k];
+        l.work_us + l.fixed_us
+    };
+    let total: f64 = specs.iter().map(|s| s.tokens.len() as f64).sum();
+    let surv = |k: usize| {
+        specs
+            .iter()
+            .flat_map(|s| s.tokens.iter())
+            .filter(|t| t.layers_executed > k)
+            .count() as f64
+            / total
+    };
+    let f = surv(boundary - 1).max(1e-9);
+    let b = b0 as f64;
+    let mean_tokens = total / specs.len() as f64;
+    let mut t_a = (0..enc)
+        .map(|k| lm.layer_time(layer_cost(k), b, gpu).as_secs_f64())
+        .sum::<f64>()
+        / mean_tokens;
+    for k in enc..boundary {
+        let batch_k = b * surv(k);
+        if batch_k <= 0.0 {
+            continue;
+        }
+        t_a += lm.layer_time(layer_cost(k), batch_k, gpu).as_secs_f64();
+        if let Some(ri) = model.ramp_after(k) {
+            if ctrl.pays_cost_at(ri) {
+                let r = model.ramps()[ri];
+                t_a += lm
+                    .layer_time(r.work_us + r.fixed_us, batch_k, gpu)
+                    .as_secs_f64();
+            }
+        }
+    }
+    t_a += lm.exit.reform_time(b * f).as_secs_f64();
+    let mut t_b = lm
+        .layer_time(ar.lm_head.work_us + ar.lm_head.fixed_us, b, gpu)
+        .as_secs_f64();
+    for k in boundary..model.num_layers() {
+        let batch_k = b * surv(k) / f;
+        if batch_k <= 0.0 {
+            continue;
+        }
+        t_b += lm.layer_time(layer_cost(k), batch_k, gpu).as_secs_f64();
+    }
+    let mut best = (1, n_gpus - 1);
+    let mut best_bn = f64::INFINITY;
+    for m_a in 1..n_gpus {
+        let m_b = n_gpus - m_a;
+        let bn = (t_a / m_a as f64).max(f * t_b / m_b as f64);
+        if bn < best_bn {
+            best_bn = bn;
+            best = (m_a, m_b);
+        }
+    }
+    best
 }
 
 /// Simulates closed-loop autoregressive serving.
 ///
 /// `n_gpus` identical `gpu` devices, input batch `b0`, `n_requests`
-/// requests drawn from `dataset`.
+/// requests drawn from `dataset`. All strategies run through
+/// [`run_continuous`]; KV-cache budgets and fault plans are available on
+/// that interface directly.
 ///
 /// # Panics
 ///
@@ -104,216 +208,71 @@ pub fn simulate_autoreg(
     assert!(n_gpus >= 1 && b0 >= 1 && n_requests >= 1);
     let ar = model.autoreg().expect("autoregressive model required");
     let enc = ar.encoder_layers;
-    let mut rng = StdRng::seed_from_u64(seed);
-
-    // Materialize requests: output length + per-token journeys.
-    let mut requests: Vec<Vec<Token>> = Vec::with_capacity(n_requests);
-    for _ in 0..n_requests {
-        let len = dataset.output_len.sample(&mut rng).max(1) as usize;
-        let mut tokens = Vec::with_capacity(len);
-        for _ in 0..len {
-            let h = dataset.sample_hardness(&mut rng);
-            let out = infer.run_sample(model, policy, ctrl, h, &mut rng);
-            tokens.push(Token {
-                layers_executed: out.layers_executed,
-                ramps_paid: out.ramps_paid,
-            });
-        }
-        requests.push(tokens);
-    }
-    let total_tokens: usize = requests.iter().map(Vec::len).sum();
-    let depths: Vec<f64> = requests
+    let specs = materialize_sequences(model, policy, ctrl, infer, dataset, n_requests, seed);
+    let total_tokens: usize = specs.iter().map(|s| s.tokens.len()).sum();
+    let depths: Vec<f64> = specs
         .iter()
-        .flat_map(|r| r.iter())
+        .flat_map(|s| s.tokens.iter())
         .map(|t| (t.layers_executed - enc) as f64)
         .collect();
     let mean_depth = stats::mean(&depths);
 
-    let layer_cost = |k: usize| {
-        let l = model.layers()[k];
-        l.work_us + l.fixed_us
-    };
-    let ramp_cost = |ri: usize| {
-        let r = model.ramps()[ri];
-        r.work_us + r.fixed_us
-    };
-    let head_cost = ar.lm_head.work_us + ar.lm_head.fixed_us;
-
-    // Encoder time for a batch of b.
-    let encoder_time = |b: f64| -> SimDuration {
-        (0..enc)
-            .map(|k| lm.layer_time(layer_cost(k), b, gpu))
-            .fold(SimDuration::ZERO, |acc, t| acc + t)
-    };
-    // One full decoder pass (no exits) at batch b, including the head.
-    let full_decoder_pass = |b: f64| -> SimDuration {
-        (enc..model.num_layers())
-            .map(|k| lm.layer_time(layer_cost(k), b, gpu))
-            .fold(lm.layer_time(head_cost, b, gpu), |acc, t| acc + t)
-    };
-
-    // The baseline arms run a lockstep batch loop on the shared simulated
-    // clock, like the serial barrier driver.
-    let mut q: EventQueue<()> = EventQueue::new();
-    let survival = match strategy {
-        AutoRegStrategy::VanillaStatic => {
-            // Batches of b0 requests; decode until the longest finishes.
-            for chunk in requests.chunks(b0) {
-                let b = chunk.len() as f64;
-                let t_max = chunk.iter().map(Vec::len).max().expect("nonempty");
-                q.advance(encoder_time(b) + full_decoder_pass(b).mul_f64(t_max as f64));
-            }
-            0.0
-        }
-        AutoRegStrategy::NaiveEeSequential => {
-            // One request at a time, batch 1, exits honored, every paid
-            // ramp charged.
-            for req in &requests {
-                let mut t_req = encoder_time(1.0);
-                for t in req {
-                    for k in enc..t.layers_executed {
-                        t_req += lm.layer_time(layer_cost(k), 1.0, gpu);
-                    }
-                    for &ri in &t.ramps_paid {
-                        t_req += lm.layer_time(ramp_cost(ri), 1.0, gpu);
-                        // Acting on each check costs a device-host sync.
-                        t_req += lm.exit.reform_time(1.0);
-                    }
-                    if t.layers_executed == model.num_layers() {
-                        t_req += lm.layer_time(head_cost, 1.0, gpu);
-                    }
-                }
-                q.advance(t_req);
-            }
-            0.0
-        }
-        AutoRegStrategy::NaiveEeBatched => {
-            assert!(
-                requests.iter().all(|r| r.len() == 1),
-                "batched naive EE supports single-token outputs only"
-            );
-            for chunk in requests.chunks(b0) {
-                let mut t_chunk = encoder_time(chunk.len() as f64);
-                for k in enc..model.num_layers() {
-                    let active = chunk.iter().filter(|r| r[0].layers_executed > k).count() as f64;
-                    if active == 0.0 {
-                        break;
-                    }
-                    t_chunk += lm.layer_time(layer_cost(k), active, gpu);
-                    if let Some(ri) = model.ramp_after(k) {
-                        if ctrl.pays_cost_at(ri) {
-                            t_chunk += lm.layer_time(ramp_cost(ri), active, gpu);
-                            t_chunk += lm.exit.reform_time(active);
-                        }
-                    }
-                }
-                let finishers = chunk
-                    .iter()
-                    .filter(|r| r[0].layers_executed == model.num_layers())
-                    .count() as f64;
-                if finishers > 0.0 {
-                    t_chunk += lm.layer_time(head_cost, finishers, gpu);
-                }
-                q.advance(t_chunk);
-            }
-            0.0
-        }
+    if matches!(strategy, AutoRegStrategy::NaiveEeBatched) {
+        assert!(
+            specs.iter().all(|s| s.tokens.len() == 1),
+            "batched naive EE supports single-token outputs only"
+        );
+    }
+    let (join, b_eff, boundary, deferred) = match strategy {
+        AutoRegStrategy::VanillaStatic => (JoinPolicy::Window { padded: true }, b0, None, false),
+        // CALM processes one request at a time: batching is disabled.
+        AutoRegStrategy::NaiveEeSequential => (JoinPolicy::Continuous, 1, None, false),
+        AutoRegStrategy::NaiveEeBatched => (JoinPolicy::Window { padded: false }, b0, None, false),
         AutoRegStrategy::E3 { boundary } => {
             assert!(
                 boundary > enc && boundary < model.num_layers(),
                 "boundary must cut the decoder"
             );
-            // Expected survival at the boundary over all tokens.
-            let crossing = requests
-                .iter()
-                .flat_map(|r| r.iter())
-                .filter(|t| t.layers_executed > boundary)
-                .count() as f64;
-            let f = crossing / total_tokens as f64;
-            let b = b0 as f64;
-            // Stage A: token batch at b0, layers enc..boundary with ramp
-            // costs inside, plus amortized encoder work per token.
-            let mean_tokens = total_tokens as f64 / n_requests as f64;
-            let mut t_a = encoder_time(b).as_secs_f64() / mean_tokens;
-            for k in enc..boundary {
-                // Expected surviving batch inside the stage.
-                let surv_k = requests
-                    .iter()
-                    .flat_map(|r| r.iter())
-                    .filter(|t| t.layers_executed > k)
-                    .count() as f64
-                    / total_tokens as f64;
-                let batch_k = b * surv_k;
-                if batch_k <= 0.0 {
-                    continue;
-                }
-                t_a += lm.layer_time(layer_cost(k), batch_k, gpu).as_secs_f64();
-                if let Some(ri) = model.ramp_after(k) {
-                    if ctrl.pays_cost_at(ri) {
-                        t_a += lm.layer_time(ramp_cost(ri), batch_k, gpu).as_secs_f64();
-                    }
-                }
-            }
-            // Stage B: re-fused to b0; layers boundary.., head included.
-            let mut t_b = 0.0;
-            for k in boundary..model.num_layers() {
-                let surv_k = requests
-                    .iter()
-                    .flat_map(|r| r.iter())
-                    .filter(|t| t.layers_executed > k)
-                    .count() as f64
-                    / crossing.max(1.0);
-                let batch_k = b * surv_k;
-                if batch_k <= 0.0 {
-                    continue;
-                }
-                t_b += lm.layer_time(layer_cost(k), batch_k, gpu).as_secs_f64();
-                if let Some(ri) = model.ramp_after(k) {
-                    if ctrl.pays_cost_at(ri) {
-                        t_b += lm.layer_time(ramp_cost(ri), batch_k, gpu).as_secs_f64();
-                    }
-                }
-            }
-            t_b += lm.layer_time(head_cost, b, gpu).as_secs_f64();
-            // One deferred gather at the split boundary re-forms the batch.
-            t_a += lm.exit.reform_time(b * f).as_secs_f64();
-
-            // Allocate the n_gpus between stages to minimize the pipeline
-            // bottleneck; per input token-batch, stage B handles f
-            // fused batches.
-            let mut best = f64::INFINITY;
-            for m_a in 1..n_gpus.max(2) {
-                let m_b = n_gpus - m_a;
-                if m_b == 0 {
-                    continue;
-                }
-                let bn = (t_a / m_a as f64).max(f * t_b / m_b as f64);
-                best = best.min(bn);
-            }
-            if n_gpus == 1 {
-                // Single GPU: serial execution of both stages.
-                best = t_a + f * t_b;
-            }
-            // Token throughput b0 / bottleneck; convert to per-"GPU group"
-            // total time for the shared accounting below.
-            let token_throughput = b / best;
-            let total_time = total_tokens as f64 / token_throughput;
-            // E3 already accounts all n_gpus inside the bottleneck math:
-            // report through the common path with group size 1.
-            return AutoRegReport {
-                goodput: n_requests as f64 / total_time,
-                tokens_per_sec: token_throughput,
-                mean_decoder_depth: mean_depth,
-                boundary_survival: f,
-            };
+            (JoinPolicy::Continuous, b0, Some(boundary), true)
         }
     };
+    let (survival, m_a, m_b, boundary) = match boundary {
+        Some(cut) => {
+            let crossing = specs
+                .iter()
+                .flat_map(|s| s.tokens.iter())
+                .filter(|t| t.layers_executed > cut)
+                .count() as f64;
+            let f = crossing / total_tokens as f64;
+            let (m_a, m_b) = allocate_split(model, ctrl, lm, gpu, &specs, cut, b0, n_gpus);
+            // One GPU cannot host a pipeline: serve single-stage.
+            let cut = if m_b == 0 { None } else { Some(cut) };
+            (f, m_a, m_b, cut)
+        }
+        None => (0.0, n_gpus, 0, None),
+    };
 
-    // Baselines: each GPU processes an equal share of the batches.
-    let wall = q.now().saturating_since(SimTime::ZERO).as_secs_f64() / n_gpus as f64;
+    let cfg = ContinuousConfig {
+        model,
+        ctrl,
+        gpu,
+        lm,
+        join,
+        b0: b_eff,
+        replicas_a: m_a,
+        boundary,
+        replicas_b: m_b,
+        deferred_exits: deferred,
+        kv: None,
+        slo: SimDuration::from_secs(86_400),
+        fault_plan: FaultPlan::new(),
+        b_max_wait: None,
+    };
+    let out = run_continuous(&cfg, &specs, &mut NullObserver);
+    debug_assert_eq!(out.leftover, 0, "no faults: every sequence completes");
     AutoRegReport {
-        goodput: n_requests as f64 / wall,
-        tokens_per_sec: total_tokens as f64 / wall,
+        goodput: out.report.goodput(),
+        tokens_per_sec: out.report.tokens_per_sec(),
         mean_decoder_depth: mean_depth,
         boundary_survival: survival,
     }

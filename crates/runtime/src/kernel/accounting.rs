@@ -39,6 +39,8 @@ pub struct RunAccumulator {
     faults_injected: u64,
     degraded_completed: u64,
     degraded_within_slo: u64,
+    tokens_generated: u64,
+    kv_preemptions: u64,
 }
 
 impl RunAccumulator {
@@ -77,6 +79,8 @@ impl RunAccumulator {
             faults_injected: 0,
             degraded_completed: 0,
             degraded_within_slo: 0,
+            tokens_generated: 0,
+            kv_preemptions: 0,
         }
     }
 
@@ -138,6 +142,16 @@ impl RunAccumulator {
     /// Records one injected fault taking effect.
     pub fn record_fault(&mut self) {
         self.faults_injected += 1;
+    }
+
+    /// Records `n` output tokens generated (autoregressive runs).
+    pub fn record_tokens(&mut self, n: u64) {
+        self.tokens_generated += n;
+    }
+
+    /// Records one KV-pressure preemption.
+    pub fn record_kv_preemption(&mut self) {
+        self.kv_preemptions += 1;
     }
 
     /// Marks `rid` excluded from assignment as of `now`; idempotent while
@@ -250,6 +264,8 @@ impl RunAccumulator {
             shed: self.shed,
             transfer_retries: self.transfer_retries,
             transfer_aborts: self.transfer_aborts,
+            tokens_generated: self.tokens_generated,
+            kv_preemptions: self.kv_preemptions,
         }
     }
 }

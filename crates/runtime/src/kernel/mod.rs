@@ -22,11 +22,16 @@
 //! execution modes account identically.
 
 mod accounting;
+mod continuous;
 pub mod faults;
 mod observer;
 mod policy;
 
 pub use accounting::RunAccumulator;
+pub use continuous::{
+    run_continuous, ContinuousBatching, ContinuousConfig, ContinuousOutcome, JoinPolicy, KvPlan,
+    PreemptMode, SequenceSpec, TokenJourney,
+};
 pub use faults::{ExclusionReason, FaultEvent, FaultPlan};
 pub use observer::{
     EventLog, KernelEvent, NullObserver, OffsetObserver, RunObserver, TagObserver, TaggedEventLog,

@@ -127,6 +127,52 @@ pub enum KernelEvent {
         /// Samples dropped with the transfer.
         size: usize,
     },
+    /// A sequence joined a replica's running batch mid-flight (continuous
+    /// batching: admission happens at iteration boundaries, not windows).
+    SequenceJoined {
+        /// Global replica id that now hosts the sequence.
+        replica: usize,
+        /// Sequence (request) id.
+        sample: u64,
+    },
+    /// A sequence left its replica's running batch — finished, preempted,
+    /// or evicted by a crash — freeing its slot for a queued sequence.
+    SequenceLeft {
+        /// Global replica id it left.
+        replica: usize,
+        /// Sequence (request) id.
+        sample: u64,
+    },
+    /// One output token of a sequence finished decoding.
+    TokenGenerated {
+        /// Sequence (request) id.
+        sample: u64,
+        /// Zero-based token index within the sequence.
+        index: u32,
+    },
+    /// A sequence passed KV-capacity admission on a replica with a finite
+    /// cache budget.
+    KvAdmitted {
+        /// Global replica id.
+        replica: usize,
+        /// Sequence (request) id.
+        sample: u64,
+        /// Cache tokens resident on the replica after admission.
+        resident_tokens: usize,
+    },
+    /// A sequence was preempted because its replica's KV cache overflowed;
+    /// its cache was released and the sequence re-queued.
+    KvPreempted {
+        /// Global replica id.
+        replica: usize,
+        /// Sequence (request) id.
+        sample: u64,
+        /// Cache tokens freed by the preemption.
+        tokens_freed: usize,
+        /// True when the cache was swapped out over the interconnect
+        /// (rebuilt by swap-in); false when it will be recomputed.
+        swapped: bool,
+    },
     /// The control loop began a guarded plan transition: the incumbent
     /// plan drained and a canary of the candidate plan started.
     ReconfigStarted {

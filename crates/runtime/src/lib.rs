@@ -42,8 +42,13 @@
 //!   drops, accuracy, per-window exit observations;
 //! * [`strategy`] — strategy construction, including the data-parallel
 //!   pseudo-plans for the baselines;
-//! * [`autoreg`] — the autoregressive (token-loop) serving simulator used
-//!   for the T5/CALM and Llama experiments (figs. 10–12).
+//! * [`autoreg`] — the autoregressive serving strategies of the T5/CALM
+//!   and Llama experiments (figs. 10–12), expressed as a thin shim over
+//!   the kernel's continuous-batching driver
+//!   ([`kernel::run_continuous`]): per-token scheduling where finished or
+//!   early-exited sequences leave the batch immediately, queued requests
+//!   join mid-flight, and per-replica KV-cache budgets drive admission
+//!   and preemption.
 
 pub mod autoreg;
 pub mod batch;
@@ -57,8 +62,10 @@ pub mod strategy;
 
 pub use engine::{SegmentRun, ServingConfig, ServingSim, TransferRetryConfig};
 pub use kernel::{
-    AdmissionPolicy, BatchingPolicy, ExclusionReason, FaultEvent, FaultPlan, KernelEvent,
-    KernelPolicies, OffsetObserver, RunObserver, StragglerPolicy, TagObserver, TaggedEventLog,
+    run_continuous, AdmissionPolicy, BatchingPolicy, ContinuousBatching, ContinuousConfig,
+    ContinuousOutcome, ExclusionReason, FaultEvent, FaultPlan, JoinPolicy, KernelEvent,
+    KernelPolicies, KvPlan, OffsetObserver, PreemptMode, RunObserver, SequenceSpec,
+    StragglerPolicy, TagObserver, TaggedEventLog, TokenJourney,
 };
 pub use report::RunReport;
 pub use strategy::Strategy;

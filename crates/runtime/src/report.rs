@@ -67,6 +67,10 @@ pub struct RunReport {
     /// Stage transfers aborted after exhausting the retry budget (their
     /// samples count under `dropped`).
     pub transfer_aborts: u64,
+    /// Output tokens generated (0 for non-autoregressive runs).
+    pub tokens_generated: u64,
+    /// Sequences preempted by KV-cache pressure during the run.
+    pub kv_preemptions: u64,
 }
 
 impl RunReport {
@@ -104,6 +108,8 @@ impl RunReport {
             merged.shed += seg.shed;
             merged.transfer_retries += seg.transfer_retries;
             merged.transfer_aborts += seg.transfer_aborts;
+            merged.tokens_generated += seg.tokens_generated;
+            merged.kv_preemptions += seg.kv_preemptions;
             merged.latency.merge(&seg.latency);
             merged
                 .exit_events
@@ -137,6 +143,14 @@ impl RunReport {
             return 0.0;
         }
         self.completed as f64 / self.duration.as_secs_f64()
+    }
+
+    /// Generated tokens per second (autoregressive runs; 0 otherwise).
+    pub fn tokens_per_sec(&self) -> f64 {
+        if self.duration.is_zero() {
+            return 0.0;
+        }
+        self.tokens_generated as f64 / self.duration.as_secs_f64()
     }
 
     /// Accuracy over completed requests.
@@ -265,12 +279,15 @@ mod tests {
             shed: 0,
             transfer_retries: 0,
             transfer_aborts: 0,
+            tokens_generated: 4,
+            kv_preemptions: 0,
         }
     }
 
     #[test]
     fn rates() {
         let r = report();
+        assert_eq!(r.tokens_per_sec(), 2.0);
         assert_eq!(r.goodput(), 0.5);
         assert_eq!(r.throughput(), 1.0);
         assert_eq!(r.accuracy(), 1.0);
@@ -295,6 +312,7 @@ mod tests {
         assert_eq!(m.within_slo, 3);
         assert_eq!(m.dropped, 4);
         assert_eq!(m.shed, 3);
+        assert_eq!(m.tokens_generated, 8);
         assert_eq!(m.latency.samples_ms().len(), 4);
         // Second segment's exit events are re-based past the first's end.
         assert_eq!(m.exit_events.len(), 4);
@@ -346,7 +364,10 @@ mod tests {
             shed: 0,
             transfer_retries: 0,
             transfer_aborts: 0,
+            tokens_generated: 0,
+            kv_preemptions: 0,
         };
+        assert_eq!(r.tokens_per_sec(), 0.0);
         assert_eq!(r.goodput(), 0.0);
         assert_eq!(r.accuracy(), 0.0);
         assert_eq!(r.drop_rate(), 0.0);

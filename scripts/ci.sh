@@ -6,7 +6,7 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo build --release --locked
 cargo test -q
-cargo clippy -- -D warnings
+cargo clippy --all-targets -- -D warnings
 
 # Smoke pass: the fault-degradation sweep, the guarded-reconfiguration
 # sweep, the multi-tenant allocation sweep, and one paper figure must
@@ -19,3 +19,15 @@ test -s /tmp/fig_reconfig.out
 test -s /tmp/fig_multitenant.out
 ./target/release/fig07_nlp_goodput | tee /tmp/fig07.out | grep -q "goodput vs batch size"
 test -s /tmp/fig07.out
+
+# LLM smoke pass: the continuous-batching port must serve an
+# autoregressive figure and win the KV-pressure sweep.
+./target/release/fig10_llm_translation | tee /tmp/fig10.out | grep -q "goodput vs batch size"
+test -s /tmp/fig10.out
+./target/release/fig_kv_pressure | tee /tmp/fig_kv.out \
+    | grep -q "continuous batching beats window batching"
+test -s /tmp/fig_kv.out
+
+# Kernel event-throughput microbenchmark, archived as BENCH_kernel.json.
+./target/release/bench_kernel | tee BENCH_kernel.json
+grep -q "events_per_sec" BENCH_kernel.json

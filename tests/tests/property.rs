@@ -9,9 +9,13 @@ use e3_model::{zoo, BatchProfile, EeModel, LayerSpec, RampController, RampSpec, 
 use e3_model::{ExitPolicy, InferenceSim};
 use e3_optimizer::{optimize_heterogeneous, optimize_homogeneous, OptimizerConfig};
 use e3_profiler::{ArimaModel, BatchProfileEstimator, EstimatorConfig};
+use e3_runtime::autoreg::materialize_sequences;
 use e3_runtime::kernel::{AdmitAll, EventLog, NoStragglerDetection, StaticBatching};
 use e3_runtime::strategy::StageSpec;
-use e3_runtime::{FaultPlan, KernelEvent, KernelPolicies, RunReport, ServingConfig, ServingSim};
+use e3_runtime::{
+    run_continuous, ContinuousConfig, FaultPlan, JoinPolicy, KernelEvent, KernelPolicies, KvPlan,
+    PreemptMode, RunReport, ServingConfig, ServingSim,
+};
 use e3_simcore::{SimDuration, SimTime};
 use e3_workload::{ArrivalProcess, DatasetModel, WorkloadGenerator};
 use rand::rngs::StdRng;
@@ -103,6 +107,36 @@ fn run_two_stage_faulted(
         sim.run_observed(&reqs, seed, &mut log)
     };
     (r, log)
+}
+
+/// Decodes raw entropy words into a fault plan shaped for a continuous
+/// deployment with `replicas` replicas over `stages` stages.
+fn decoded_continuous_faults(words: &[u64], replicas: usize, stages: usize) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for &x in words {
+        let rid = ((x >> 2) as usize) % replicas;
+        let from = (x >> 8) & 0x3ff;
+        let until = from + 1 + ((x >> 20) & 0xff);
+        plan = match x % 4 {
+            0 => plan.crash(rid, SimTime::from_millis(from)),
+            1 => {
+                let factor = 1.25 + ((x >> 32) & 0x3f) as f64 / 8.0;
+                plan.slowdown(
+                    rid,
+                    factor,
+                    SimTime::from_millis(from),
+                    SimTime::from_millis(until),
+                )
+            }
+            2 => plan.stall(
+                ((x >> 4) as usize) % stages,
+                SimTime::from_millis(from),
+                SimTime::from_millis(until),
+            ),
+            _ => plan.recover(rid, SimTime::from_millis(from)),
+        };
+    }
+    plan
 }
 
 /// One of the two stage layouts the plan-swap property alternates
@@ -403,6 +437,105 @@ proptest! {
             prop_assert_eq!(arrived[i], 1);
             prop_assert_eq!(terminated[i], 1);
         }
+        // The merged stream sits on one monotone clock.
+        prop_assert!(log.events.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn continuous_batching_conserves_sequences_and_tokens(
+        words in proptest::collection::vec(0u64..u64::MAX, 0..8),
+        seed in 0u64..500,
+        cap in 32usize..512,
+        two_stage_bit in 0u8..2,
+        swap_bit in 0u8..2,
+    ) {
+        // Satellite invariant: under continuous batching with an arbitrary
+        // fault plan and a finite KV budget, no sequence is lost and no
+        // token is double-served — every sequence is exactly one of
+        // completed / leftover, every completed sequence emitted each of
+        // its token indices exactly once, and the clock never rewinds.
+        let (two_stage, swap) = (two_stage_bit == 1, swap_bit == 1);
+        let n = 60usize;
+        let model = zoo::calm_t5();
+        let ar = *model.autoreg().expect("calm_t5 is autoregressive");
+        let ctrl = RampController::all_enabled(model.num_ramps(), e3_model::RampStyle::Independent);
+        let specs = materialize_sequences(
+            &model, &zoo::default_policy("CALM"), &ctrl, &InferenceSim::new(),
+            &DatasetModel::samsum(), n, seed,
+        );
+        let (boundary, replicas_a, replicas_b) =
+            if two_stage { (Some(12), 2, 2) } else { (None, 4, 0) };
+        let stages = 1 + usize::from(two_stage);
+        let cfg = ContinuousConfig {
+            model: &model,
+            ctrl: &ctrl,
+            gpu: GpuKind::A6000,
+            lm: &LatencyModel::new(),
+            join: JoinPolicy::Continuous,
+            b0: 8,
+            replicas_a,
+            boundary,
+            replicas_b,
+            deferred_exits: two_stage,
+            kv: Some(KvPlan {
+                capacity_tokens: cap,
+                bytes_per_token: ar.kv_bytes_per_token,
+                mode: if swap { PreemptMode::Swap } else { PreemptMode::Recompute },
+            }),
+            slo: SimDuration::from_secs(86_400),
+            fault_plan: decoded_continuous_faults(&words, replicas_a + replicas_b, stages),
+            b_max_wait: None,
+        };
+        let mut log = EventLog::new();
+        let out = run_continuous(&cfg, &specs, &mut log);
+
+        // Sequence conservation: every sequence terminates or strands.
+        prop_assert_eq!(out.report.completed + out.leftover, n as u64);
+
+        // Token conservation: (sequence, index) pairs are unique, and a
+        // completed sequence generated exactly its materialized tokens.
+        let mut tokens: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut completions = vec![0u32; n];
+        for (_, e) in &log.events {
+            match e {
+                KernelEvent::TokenGenerated { sample, index } => {
+                    tokens[*sample as usize].push(*index);
+                }
+                KernelEvent::Completion { sample, .. } => {
+                    completions[*sample as usize] += 1;
+                }
+                _ => {}
+            }
+        }
+        let mut token_total = 0u64;
+        for (i, spec) in specs.iter().enumerate() {
+            let mut idx = tokens[i].clone();
+            idx.sort_unstable();
+            idx.dedup();
+            prop_assert!(
+                idx.len() == tokens[i].len(),
+                "sequence {} double-served a token", i
+            );
+            token_total += tokens[i].len() as u64;
+            prop_assert!(completions[i] <= 1, "sequence {} completed twice", i);
+            if completions[i] == 1 {
+                let want: Vec<u32> = (0..spec.tokens.len() as u32).collect();
+                prop_assert!(idx == want, "completed sequence {} has token gaps", i);
+            } else {
+                prop_assert!(
+                    idx.len() < spec.tokens.len(),
+                    "sequence {} generated all tokens but never completed", i
+                );
+            }
+        }
+        prop_assert_eq!(token_total, out.report.tokens_generated);
+        prop_assert_eq!(
+            completions.iter().map(|&c| u64::from(c)).sum::<u64>(),
+            out.report.completed
+        );
+        // KV admissions and preemptions surface as typed events.
+        let preempts = log.count(|e| matches!(e, KernelEvent::KvPreempted { .. })) as u64;
+        prop_assert_eq!(preempts, out.report.kv_preemptions);
         // The merged stream sits on one monotone clock.
         prop_assert!(log.events.windows(2).all(|w| w[0].0 <= w[1].0));
     }
