@@ -37,6 +37,7 @@ fn main() {
         "fig_degradation",
         "fig_reconfig",
         "fig_multitenant",
+        "fig_matrix",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

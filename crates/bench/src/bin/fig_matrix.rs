@@ -1,0 +1,17 @@
+//! Scenario-matrix stress run: composed arrival/drift/fault/skew/guard/
+//! exit-policy cells with online invariant checking of every kernel
+//! stream. Runs the pruned smoke subset by default; `--full` runs the
+//! complete 96-cell cross product.
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let report = if full {
+        e3_bench::figs::fig_matrix_full_report()
+    } else {
+        e3_bench::figs::fig_matrix_report()
+    };
+    print!("{report}");
+    if report.contains("FAIL") {
+        std::process::exit(1);
+    }
+}

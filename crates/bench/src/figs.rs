@@ -16,6 +16,7 @@ use e3_runtime::kernel::EventLog;
 use e3_runtime::{
     run_continuous, ContinuousConfig, FaultPlan, JoinPolicy, KernelEvent, KvPlan, PreemptMode,
 };
+use e3_scenarios::ScenarioMatrix;
 use e3_simcore::{SimDuration, SimTime};
 use e3_tenancy::{
     ClusterAllocator, DemandProportional, MarginalGoodput, MultiTenantSystem, StaticEven,
@@ -754,6 +755,45 @@ pub fn fig_kv_pressure_report() -> String {
     out.push_str(&takeaway_line(&format!(
         "freed slots refill mid-flight: continuous batching beats window batching at every budget, up to {best:.2}x under pressure"
     )));
+    out.push('\n');
+    out
+}
+
+/// Scenario-matrix smoke: the pruned cell subset of the composed stress
+/// space ({arrival} × {drift} × {faults} × {skew} × {guarded} × {exit
+/// policy}), every cell's kernel streams validated online by the
+/// invariant checker. `fig_matrix --full` runs all 96 cells.
+pub fn fig_matrix_report() -> String {
+    matrix_report(&ScenarioMatrix::smoke_cells(), "smoke")
+}
+
+/// The full 96-cell cross product (not golden-pinned; CI runs smoke).
+pub fn fig_matrix_full_report() -> String {
+    matrix_report(&ScenarioMatrix::full_cells(), "full")
+}
+
+fn matrix_report(cells: &[e3_scenarios::ScenarioCell], which: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Scenario matrix ({which}): {} composed cells, invariant-checked kernel streams\n",
+        cells.len()
+    );
+    let outcome = ScenarioMatrix::new(SEED).run(cells);
+    out.push_str(&outcome.render());
+    let failing = outcome.cells.iter().filter(|c| !c.pass()).count();
+    if failing == 0 {
+        out.push_str(&takeaway_line(&format!(
+            "all {} cells pass: {} kernel events validated, zero invariant violations",
+            outcome.cells.len(),
+            outcome.events_checked()
+        )));
+    } else {
+        out.push_str(&takeaway_line(&format!(
+            "{failing} of {} cells FAILED invariant checking",
+            outcome.cells.len()
+        )));
+    }
     out.push('\n');
     out
 }

@@ -34,12 +34,14 @@
 pub mod config;
 pub mod deploy;
 pub mod harness;
+pub mod policy;
 pub mod reconfig;
 pub mod report;
 pub mod system;
 
 pub use config::E3Config;
 pub use deploy::DeploymentBuilder;
+pub use policy::{AdaptiveExitPolicy, FixedExitPolicy, OnlineThresholdTuner};
 pub use reconfig::{ReconfigConfig, ReconfigDecision, ReconfigReport};
 pub use report::{E3Report, WindowReport};
 pub use system::E3System;

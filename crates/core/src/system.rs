@@ -206,6 +206,9 @@ impl E3System {
                 })
                 .collect();
 
+            // Guarded windows are fault-free (`can_guard`), so only the
+            // faulted instant-swap path can emit past `run.duration`.
+            let mut high_water = clock;
             let (run, winner_plan, reconfig) = if can_guard {
                 let inc = incumbent.clone().expect("can_guard implies incumbent");
                 epoch += 1;
@@ -231,10 +234,14 @@ impl E3System {
                     seeds.derive_indexed("window-run", w as u64),
                     &mut off,
                 );
+                // Fault injections/expiries scheduled past the last
+                // completion are emitted beyond `run.duration`; the next
+                // window must start after them to keep the stream monotone.
+                high_water = off.high_water();
                 (run, plan, None)
             };
             let cluster_gpus = cluster.num_gpus();
-            clock += run.duration;
+            clock = (clock + run.duration).max(high_water);
 
             // Replicas lost for good this window shrink the cluster the
             // optimizer sees from the next window on.

@@ -35,6 +35,7 @@ pub use continuous::{
 pub use faults::{ExclusionReason, FaultEvent, FaultPlan};
 pub use observer::{
     EventLog, KernelEvent, NullObserver, OffsetObserver, RunObserver, TagObserver, TaggedEventLog,
+    TeeObserver,
 };
 pub use policy::{
     AdmissionPolicy, AdmitAll, BatchingPolicy, FusionBatching, NoStragglerDetection,

@@ -217,20 +217,63 @@ impl RunObserver for NullObserver {
 /// monotone clock.
 pub struct OffsetObserver<'a> {
     base: SimTime,
+    high_water: SimTime,
     inner: &'a mut dyn RunObserver,
 }
 
 impl<'a> OffsetObserver<'a> {
     /// Forwards to `inner`, shifting every timestamp forward by `base`.
     pub fn new(base: SimTime, inner: &'a mut dyn RunObserver) -> Self {
-        OffsetObserver { base, inner }
+        OffsetObserver {
+            base,
+            high_water: base,
+            inner,
+        }
+    }
+
+    /// The latest re-based timestamp forwarded so far (`base` if no event
+    /// has been observed). A segmented caller advancing its clock by
+    /// [`crate::RunReport::duration`] must clamp to this: a run's trailing
+    /// events — fault injections and expiries scheduled past the last
+    /// completion — land *after* the reported duration, and a next
+    /// segment based before them would interleave the merged stream out
+    /// of order.
+    pub fn high_water(&self) -> SimTime {
+        self.high_water
     }
 }
 
 impl RunObserver for OffsetObserver<'_> {
     fn on_event(&mut self, now: SimTime, event: &KernelEvent) {
         let shifted = self.base + now.saturating_since(SimTime::ZERO);
+        self.high_water = self.high_water.max(shifted);
         self.inner.on_event(shifted, event);
+    }
+}
+
+/// Fans one event stream out to two observers.
+///
+/// The checker hook: downstream tooling (e.g. an invariant checker) can
+/// watch a run online while the usual recording observer still sees the
+/// identical stream. `a` receives each event before `b`; neither can
+/// perturb scheduling, so the order only matters to the observers
+/// themselves.
+pub struct TeeObserver<'a> {
+    a: &'a mut dyn RunObserver,
+    b: &'a mut dyn RunObserver,
+}
+
+impl<'a> TeeObserver<'a> {
+    /// Forwards every event to `a`, then to `b`.
+    pub fn new(a: &'a mut dyn RunObserver, b: &'a mut dyn RunObserver) -> Self {
+        TeeObserver { a, b }
+    }
+}
+
+impl RunObserver for TeeObserver<'_> {
+    fn on_event(&mut self, now: SimTime, event: &KernelEvent) {
+        self.a.on_event(now, event);
+        self.b.on_event(now, event);
     }
 }
 
@@ -363,6 +406,92 @@ mod tests {
             log.count(|e| matches!(e, KernelEvent::BatchFormed { .. })),
             1
         );
+    }
+
+    #[test]
+    fn tee_observer_duplicates_the_stream_in_order() {
+        let mut a = EventLog::new();
+        let mut b = EventLog::new();
+        {
+            let mut tee = TeeObserver::new(&mut a, &mut b);
+            tee.on_event(SimTime::ZERO, &KernelEvent::Arrival { sample: 1 });
+            tee.on_event(
+                SimTime::from_millis(3),
+                &KernelEvent::Completion {
+                    sample: 1,
+                    within_slo: true,
+                },
+            );
+        }
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.events.len(), 2);
+    }
+
+    /// Segment-boundary re-basing pin (see `RunReport::concat`): when a
+    /// guarded window is served as consecutive kernel runs, the last event
+    /// of segment k and the first event of segment k+1 can land on the
+    /// same re-based instant. The merged log must keep segment order —
+    /// `EventLog` appends, and `TaggedEventLog::merged_by_time` sorts
+    /// stably, so same-instant events stay in emission order.
+    #[test]
+    fn offset_rebasing_keeps_segment_order_on_duplicate_timestamps() {
+        let mut log = EventLog::new();
+        // Segment 1: [0, 5ms) re-based at 0; its last event at 5ms.
+        {
+            let mut off = OffsetObserver::new(SimTime::ZERO, &mut log);
+            off.on_event(SimTime::ZERO, &KernelEvent::Arrival { sample: 0 });
+            off.on_event(
+                SimTime::from_millis(5),
+                &KernelEvent::Completion {
+                    sample: 0,
+                    within_slo: true,
+                },
+            );
+        }
+        // Segment 2 re-based at 5ms; its first event at local ZERO lands
+        // on the same global instant as segment 1's last event.
+        {
+            let mut off = OffsetObserver::new(SimTime::from_millis(5), &mut log);
+            off.on_event(SimTime::ZERO, &KernelEvent::Arrival { sample: 1 });
+            off.on_event(
+                SimTime::from_millis(2),
+                &KernelEvent::Completion {
+                    sample: 1,
+                    within_slo: true,
+                },
+            );
+        }
+        let times: Vec<SimTime> = log.events.iter().map(|(t, _)| *t).collect();
+        assert_eq!(
+            times,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(5),
+                SimTime::from_millis(5),
+                SimTime::from_millis(7),
+            ]
+        );
+        // The duplicate-instant pair keeps segment order: segment 1's
+        // completion precedes segment 2's arrival.
+        assert!(matches!(
+            log.events[1].1,
+            KernelEvent::Completion { sample: 0, .. }
+        ));
+        assert!(matches!(
+            log.events[2].1,
+            KernelEvent::Arrival { sample: 1 }
+        ));
+
+        // The tagged merge preserves the same order through its stable
+        // sort even when the duplicate-instant events carry distinct tags.
+        let mut tagged = TaggedEventLog::new();
+        for (i, (at, e)) in log.events.iter().enumerate() {
+            let seg = if i < 2 { 0 } else { 1 };
+            tagged.tagged(seg).on_event(*at, e);
+        }
+        let merged = tagged.merged_by_time();
+        let tags: Vec<u32> = merged.iter().map(|(t, _, _)| *t).collect();
+        assert_eq!(tags, vec![0, 0, 1, 1], "stable sort keeps segment order");
     }
 
     #[test]

@@ -330,6 +330,38 @@ mod tests {
         let _ = RunReport::concat(vec![]);
     }
 
+    /// Segment-boundary ordering pin: an exit event at the very end of
+    /// segment k and one at local ZERO of segment k+1 re-base onto the
+    /// same global instant. `concat` appends segments in order, so the
+    /// duplicate-instant pair must keep segment order — earlier segment
+    /// first — matching the `OffsetObserver` event-stream convention.
+    #[test]
+    fn concat_keeps_segment_order_on_duplicate_boundary_timestamps() {
+        let mut a = report();
+        a.duration = SimDuration::from_secs(2);
+        a.exit_events = vec![ExitEvent {
+            at: SimTime::from_secs(2), // exactly at segment end
+            layers_executed: 4,
+            exited_early: true,
+        }];
+        let mut b = report();
+        b.exit_events = vec![ExitEvent {
+            at: SimTime::ZERO, // re-bases onto the 2 s boundary
+            layers_executed: 12,
+            exited_early: false,
+        }];
+        let m = RunReport::concat(vec![a, b]);
+        assert_eq!(m.exit_events.len(), 2);
+        assert_eq!(m.exit_events[0].at, SimTime::from_secs(2));
+        assert_eq!(m.exit_events[1].at, SimTime::from_secs(2));
+        assert_eq!(
+            m.exit_events[0].layers_executed, 4,
+            "segment 1's boundary event precedes segment 2's"
+        );
+        assert_eq!(m.exit_events[1].layers_executed, 12);
+        assert!(m.exit_events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
     #[test]
     fn degraded_accounting() {
         let mut r = report();

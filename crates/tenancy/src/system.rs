@@ -33,6 +33,7 @@ use e3::{E3Config, E3System, ReconfigConfig};
 use e3_hardware::{ClusterSpec, LatencyModel, TransferModel};
 use e3_model::{InferenceSim, RampController};
 use e3_optimizer::{OptimizerConfig, ValueOracle};
+use e3_runtime::kernel::FaultPlan;
 use e3_runtime::{OffsetObserver, TaggedEventLog};
 use e3_simcore::{SeedSplitter, SimDuration, SimTime};
 use e3_workload::DatasetModel;
@@ -171,6 +172,10 @@ impl MultiTenantSystem {
             .map(|(t, spec)| {
                 let mut windows_out = Vec::new();
                 let mut elapsed = SimDuration::ZERO;
+                // Where the next segment's events may start: at least the
+                // cumulative duration, but never before an already-emitted
+                // trailing event (fault expiries land past `duration`).
+                let mut base = SimTime::ZERO;
                 let mut e = 0;
                 while e < epoch_starts.len() {
                     let mut end = e + 1;
@@ -188,14 +193,22 @@ impl MultiTenantSystem {
                         partitions[e][t].clone(),
                         self.tenant_config(spec, &seeds, t, ws),
                     );
+                    // Window-indexed fault plans on the tenant's own
+                    // timeline, sliced to this segment (indices are
+                    // partition-local).
+                    let segment_faults: Vec<FaultPlan> = (ws..we)
+                        .map(|w| spec.faults.get(w).cloned().unwrap_or_default())
+                        .collect();
                     let mut tag = log.tagged(t as u32);
-                    let mut off = OffsetObserver::new(SimTime::ZERO + elapsed, &mut tag);
-                    let report = sys.run_windows_observed(&phases, &[], &mut off);
+                    let mut off = OffsetObserver::new(base, &mut tag);
+                    let report = sys.run_windows_observed(&phases, &segment_faults, &mut off);
+                    let high_water = off.high_water();
                     for (i, mut w) in report.windows.into_iter().enumerate() {
                         w.window = ws + i;
                         elapsed += w.run.duration;
                         windows_out.push(w);
                     }
+                    base = (SimTime::ZERO + elapsed).max(high_water);
                     e = end;
                 }
                 TenantReport {

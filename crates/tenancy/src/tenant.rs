@@ -7,6 +7,7 @@
 //! other — the regime where joint allocation has something to exploit.
 
 use e3_model::{zoo, EeModel, ExitPolicy};
+use e3_runtime::kernel::FaultPlan;
 use e3_simcore::{SimDuration, SimTime};
 use e3_workload::{ArrivalProcess, DatasetModel, Phase, WorkloadGenerator};
 
@@ -31,6 +32,13 @@ pub struct TenantSpec {
     /// The phased workload on the tenant's own clock — which dataset
     /// (hardness mixture) is active when.
     pub workload: WorkloadGenerator,
+    /// Per-window fault plans on the tenant's own timeline: `faults[w]`
+    /// is injected into the kernel run serving window `w` of this
+    /// tenant's control loop. Windows past the end of the vector (and an
+    /// empty vector, the default) run fault-free. Plans are validated
+    /// against the tenant's *partition* shape at run time, so replica and
+    /// stage indices are partition-local.
+    pub faults: Vec<FaultPlan>,
 }
 
 impl TenantSpec {
@@ -54,6 +62,7 @@ impl TenantSpec {
                 ArrivalProcess::ClosedLoop { concurrency: 8 },
                 phases,
             ),
+            faults: Vec::new(),
         }
     }
 
@@ -84,6 +93,13 @@ impl TenantSpec {
     /// Sets the latency SLO.
     pub fn with_slo(mut self, slo: SimDuration) -> Self {
         self.slo = slo;
+        self
+    }
+
+    /// Sets window-indexed fault plans on the tenant's timeline
+    /// (partition-local replica/stage indices; see [`TenantSpec::faults`]).
+    pub fn with_faults(mut self, faults: Vec<FaultPlan>) -> Self {
+        self.faults = faults;
         self
     }
 

@@ -28,6 +28,13 @@ test -s /tmp/fig10.out
     | grep -q "continuous batching beats window batching"
 test -s /tmp/fig_kv.out
 
+# Scenario-matrix smoke: the pruned composed-stress subset must pass
+# invariant checking with zero violations (well under 30 s; the full
+# 96-cell cross product is `fig_matrix --full`).
+./target/release/fig_matrix | tee /tmp/fig_matrix.out \
+    | grep -q "zero invariant violations"
+test -s /tmp/fig_matrix.out
+
 # Kernel event-throughput microbenchmark, archived as BENCH_kernel.json.
 ./target/release/bench_kernel | tee BENCH_kernel.json
 grep -q "events_per_sec" BENCH_kernel.json

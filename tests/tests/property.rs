@@ -561,3 +561,104 @@ proptest! {
         prop_assert_eq!(result.is_ok(), ok);
     }
 }
+
+use e3_hardware::ClusterSpec;
+use e3_runtime::TaggedEventLog;
+use e3_scenarios::{CheckerConfig, InvariantChecker, StreamScope};
+use e3_tenancy::{MarginalGoodput, MultiTenantSystem, TenancyConfig, TenantSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn tenancy_partitions_conserve_under_decoded_faults(
+        tenant_words in proptest::collection::vec(
+            proptest::collection::vec(0u64..u64::MAX, 0..3),
+            2..5,
+        ),
+        seed in 0u64..200,
+    ) {
+        // Satellite invariant: the continuous-batching/windowed
+        // conservation laws survive tenancy partitioning. 2-4 tenants
+        // share a cluster under joint allocation, each carrying decoded
+        // per-window fault plans on its own timeline; every tenant's
+        // re-based stream must stay monotone, conserve samples, and pass
+        // the typed invariant checker with zero violations.
+        let n_tenants = tenant_words.len();
+        let cfg = TenancyConfig {
+            windows: 3,
+            realloc_every: 2,
+            profile_samples: 150,
+            seed,
+            ..Default::default()
+        };
+        let horizon = cfg.window * cfg.windows as u64;
+        let tenants: Vec<TenantSpec> = tenant_words
+            .iter()
+            .enumerate()
+            .map(|(i, words)| {
+                // One decoded fault per window; indices are partition-local,
+                // and any partition has a replica 0 / stage 0, so plans
+                // decoded for a 1-replica, 1-stage shape are always valid.
+                let faults: Vec<FaultPlan> = words
+                    .iter()
+                    .map(|&w| decoded_continuous_faults(&[w], 1, 1))
+                    .collect();
+                TenantSpec::nlp_stationary(
+                    &format!("t{i}"),
+                    DatasetModel::with_mix(0.3 + 0.15 * i as f64),
+                    horizon,
+                )
+                .with_demand(200)
+                .with_faults(faults)
+            })
+            .collect();
+        let cluster = ClusterSpec::homogeneous(GpuKind::V100, 2 * n_tenants, 2);
+        let sys = MultiTenantSystem::new(tenants, cluster, cfg);
+        let mut log = TaggedEventLog::new();
+        let report = sys.run_observed(&MarginalGoodput::default(), &mut log);
+        prop_assert_eq!(report.tenants.len(), n_tenants);
+
+        for t in 0..n_tenants as u32 {
+            let stream = log.for_tag(t);
+            prop_assert!(!stream.is_empty(), "tenant {} served nothing", t);
+            // Re-based onto the tenant's cumulative clock: monotone.
+            prop_assert!(stream.windows(2).all(|w| w[0].1 <= w[1].1));
+            // Conservation across the tenant's whole horizon: terminals
+            // never exceed arrivals (window ids repeat, so the per-id
+            // pairing is the checker's job).
+            let arrivals = stream
+                .iter()
+                .filter(|r| matches!(r.2, KernelEvent::Arrival { .. }))
+                .count();
+            let terminals = stream
+                .iter()
+                .filter(|r| {
+                    matches!(
+                        r.2,
+                        KernelEvent::Completion { .. } | KernelEvent::Dropped { .. }
+                    )
+                })
+                .count();
+            prop_assert!(arrivals > 0);
+            prop_assert!(terminals <= arrivals);
+            let violations = InvariantChecker::check_tagged(
+                CheckerConfig {
+                    scope: StreamScope::Windowed,
+                    ..Default::default()
+                },
+                &log,
+                t,
+            );
+            prop_assert!(
+                violations.is_empty(),
+                "tenant {} violations: {:?}",
+                t,
+                &violations[..violations.len().min(3)]
+            );
+        }
+        // The merged cluster trace sits on one monotone clock.
+        let merged = log.merged_by_time();
+        prop_assert!(merged.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the `e3_simcore::stats` fairness and aggregate
+//! helpers the tenancy accounting is built on.
+
+use proptest::prelude::*;
+
+use e3_simcore::stats::{
+    jain_fairness_index, mean, quantile, variance, weighted_jain_fairness_index, FiveNumber,
+};
+
+#[test]
+fn empty_windows_are_handled() {
+    // An empty measurement window must degrade gracefully, not panic:
+    // vacuously fair fairness, zeroed aggregates.
+    assert_eq!(jain_fairness_index(&[]), 1.0);
+    assert_eq!(weighted_jain_fairness_index(&[], &[]), 1.0);
+    assert_eq!(mean(&[]), 0.0);
+    assert_eq!(variance(&[]), 0.0);
+    assert_eq!(quantile(&[], 0.5), 0.0);
+    let s = FiveNumber::from_samples(&[]);
+    assert_eq!((s.min, s.median, s.max, s.mean), (0.0, 0.0, 0.0, 0.0));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn jain_index_stays_within_bounds(
+        xs in proptest::collection::vec(0.0f64..1e6, 1..32),
+    ) {
+        // J = (Σx)²/(n·Σx²) is bounded by [1/n, 1] for any non-negative
+        // allocation with at least one positive entry (all-zero windows
+        // are defined as perfectly fair).
+        let j = jain_fairness_index(&xs);
+        prop_assert!(j <= 1.0 + 1e-9, "j={j}");
+        let floor = if xs.iter().any(|&x| x > 0.0) {
+            1.0 / xs.len() as f64
+        } else {
+            1.0
+        };
+        prop_assert!(j >= floor - 1e-9, "j={j} < 1/n={floor}");
+    }
+
+    #[test]
+    fn jain_index_is_scale_invariant(
+        xs in proptest::collection::vec(0.0f64..1e3, 1..16),
+        scale in 0.001f64..1e3,
+    ) {
+        let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+        let a = jain_fairness_index(&xs);
+        let b = jain_fairness_index(&scaled);
+        prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn weighted_jain_degenerates_with_one_tenant(
+        x in 0.0f64..1e6,
+        w in 0.1f64..100.0,
+    ) {
+        // A single tenant cannot be unfair to anyone.
+        prop_assert_eq!(weighted_jain_fairness_index(&[x], &[w]), 1.0);
+        prop_assert_eq!(jain_fairness_index(&[x]), 1.0);
+    }
+
+    #[test]
+    fn weight_proportional_allocations_are_perfectly_fair(
+        weights in proptest::collection::vec(0.1f64..50.0, 1..16),
+        scale in 0.01f64..100.0,
+    ) {
+        // x_i = s·w_i is exactly what the weights promise, so the
+        // weighted index must report perfect fairness — and, for any
+        // allocation, normalizing by the weights used to produce it can
+        // only raise the score relative to ignoring them.
+        let xs: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let j = weighted_jain_fairness_index(&xs, &weights);
+        prop_assert!((j - 1.0).abs() < 1e-9, "j={j}");
+        let plain = jain_fairness_index(&xs);
+        prop_assert!(j >= plain - 1e-9, "weighted {j} < plain {plain}");
+    }
+
+    #[test]
+    fn weighted_jain_with_unit_weights_is_plain_jain(
+        xs in proptest::collection::vec(0.0f64..1e4, 1..16),
+    ) {
+        let ones = vec![1.0; xs.len()];
+        let a = weighted_jain_fairness_index(&xs, &ones);
+        let b = jain_fairness_index(&xs);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn five_number_summary_is_ordered_and_bounded(
+        xs in proptest::collection::vec(-1e4f64..1e4, 1..64),
+    ) {
+        let s = FiveNumber::from_samples(&xs);
+        prop_assert!(s.min <= s.p25 && s.p25 <= s.median);
+        prop_assert!(s.median <= s.p75 && s.p75 <= s.max);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min, lo);
+        prop_assert_eq!(s.max, hi);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(
+        xs in proptest::collection::vec(-1e4f64..1e4, 1..64),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile(&xs, lo) <= quantile(&xs, hi) + 1e-12);
+    }
+}
