@@ -38,6 +38,7 @@ fn main() {
         "fig_reconfig",
         "fig_multitenant",
         "fig_matrix",
+        "fig_scale",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

@@ -1,0 +1,12 @@
+//! Planning-at-scale bench: cold vs warm vs extended DP solves up to a
+//! 10,000-GPU cluster. Wall times vary by machine, so the output is not
+//! golden-pinned; the takeaway line self-judges against the acceptance
+//! budget (cold < 10 s, warm ≥ 10x cold) and CI greps for `PASS`.
+
+fn main() {
+    let report = e3_bench::figs::fig_scale_report();
+    print!("{report}");
+    if report.contains("FAIL") {
+        std::process::exit(1);
+    }
+}

@@ -17,11 +17,11 @@ use e3_simcore::SimDuration;
 /// cluster) plus optional overrides. Defaults: all ramps enabled, stock
 /// inference semantics, calibrated latency/transfer models, 100 ms SLO,
 /// closed loop.
-pub struct DeploymentBuilder<'a> {
-    model: &'a EeModel,
+pub struct DeploymentBuilder<'m, 's> {
+    model: &'m EeModel,
     policy: ExitPolicy,
-    strategy: &'a Strategy,
-    cluster: &'a ClusterSpec,
+    strategy: &'s Strategy,
+    cluster: &'s ClusterSpec,
     ctrl: RampController,
     infer: InferenceSim,
     lm: LatencyModel,
@@ -34,13 +34,15 @@ pub struct DeploymentBuilder<'a> {
     queue_cap: Option<usize>,
 }
 
-impl<'a> DeploymentBuilder<'a> {
+impl<'m, 's> DeploymentBuilder<'m, 's> {
     /// Starts a deployment of `model` serving `strategy` on `cluster`.
+    /// The strategy and cluster are consumed at [`Self::build`] (realized
+    /// into owned stages), so the simulator only borrows the model.
     pub fn new(
-        model: &'a EeModel,
+        model: &'m EeModel,
         policy: ExitPolicy,
-        strategy: &'a Strategy,
-        cluster: &'a ClusterSpec,
+        strategy: &'s Strategy,
+        cluster: &'s ClusterSpec,
     ) -> Self {
         DeploymentBuilder {
             model,
@@ -117,7 +119,7 @@ impl<'a> DeploymentBuilder<'a> {
     }
 
     /// Realizes the strategy and assembles the simulator.
-    pub fn build(self) -> ServingSim<'a> {
+    pub fn build(self) -> ServingSim<'m> {
         let stages = self.strategy.realize(self.model, self.cluster);
         ServingSim::new(
             self.model,

@@ -278,6 +278,31 @@ pub fn run_closed_loop_observed(
             SeedSplitter::new(seed).derive("run"),
         );
     }
+    let (sim, reqs, run_seed) =
+        build_closed_loop_sim(kind, family, cluster, batch, dataset, n, opts, seed);
+    sim.run_observed(&reqs, run_seed, observer)
+}
+
+/// Assembles the kernel-path closed-loop deployment without running it:
+/// the built simulator, the request backlog, and the derived run seed.
+/// Useful for drivers that want to separate workload materialization
+/// from the kernel event loop (e.g. `ServingSim::materialize_backlog` +
+/// repeated `run_backlog_observed` in benchmarks). The serial
+/// (`pipelining == false`) E3 path runs outside the kernel and is not
+/// expressible here; [`run_closed_loop_observed`] handles it.
+#[allow(clippy::too_many_arguments)]
+pub fn build_closed_loop_sim<'m>(
+    kind: SystemKind,
+    family: &'m ModelFamily,
+    cluster: &ClusterSpec,
+    batch: usize,
+    dataset: &DatasetModel,
+    n: usize,
+    opts: &HarnessOpts,
+    seed: u64,
+) -> (e3_runtime::ServingSim<'m>, Vec<Request>, u64) {
+    let model = family.model_for(kind);
+    let infer = InferenceSim::with_accuracy(dataset.base_accuracy);
     let strategy = match kind {
         SystemKind::Vanilla => Strategy::Vanilla { batch },
         SystemKind::NaiveEe => Strategy::NaiveEe { batch },
@@ -310,7 +335,7 @@ pub fn run_closed_loop_observed(
         .with_straggler_detection(opts.detect_stragglers)
         .build();
     let reqs = closed_loop_requests(dataset, n, SeedSplitter::new(seed).derive("requests"));
-    sim.run_observed(&reqs, SeedSplitter::new(seed).derive("run"), observer)
+    (sim, reqs, SeedSplitter::new(seed).derive("run"))
 }
 
 /// Runs an open-loop experiment over a pre-generated workload.

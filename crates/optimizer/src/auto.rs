@@ -12,8 +12,9 @@ use std::collections::BTreeMap;
 use e3_hardware::{ClusterSpec, GpuKind, LatencyModel, TransferModel};
 use e3_model::{BatchProfile, EeModel, RampController};
 
+use crate::cache::PlanCache;
 use crate::config::OptimizerConfig;
-use crate::dp::optimize_homogeneous;
+use crate::dp::{optimize_homogeneous, optimize_homogeneous_cached};
 use crate::hetero::{min_cost_plan, optimize_heterogeneous};
 use crate::plan::SplitPlan;
 
@@ -30,11 +31,32 @@ pub fn plan_for_cluster(
     lm: &LatencyModel,
     cfg: &OptimizerConfig,
 ) -> SplitPlan {
+    let mut cache = PlanCache::new();
+    plan_for_cluster_cached(model, ctrl, profile, cluster, b0, tm, lm, cfg, &mut cache)
+}
+
+/// [`plan_for_cluster`] with warm starting: homogeneous solves run
+/// through `cache` (see [`PlanCache`]), so a control loop re-planning
+/// every window pays for the DP only when its inputs actually change.
+/// Heterogeneous clusters fall through to the (already small) boundary
+/// enumeration. Plans are bit-identical to the cold path.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_for_cluster_cached(
+    model: &EeModel,
+    ctrl: &RampController,
+    profile: &BatchProfile,
+    cluster: &ClusterSpec,
+    b0: f64,
+    tm: &TransferModel,
+    lm: &LatencyModel,
+    cfg: &OptimizerConfig,
+    cache: &mut PlanCache,
+) -> SplitPlan {
     if cluster.is_heterogeneous() {
         optimize_heterogeneous(model, ctrl, profile, &cluster.gpu_counts(), b0, tm, lm, cfg)
     } else {
         let kind = cluster.kinds()[0];
-        optimize_homogeneous(
+        optimize_homogeneous_cached(
             model,
             ctrl,
             profile,
@@ -44,6 +66,7 @@ pub fn plan_for_cluster(
             tm,
             lm,
             cfg,
+            cache,
         )
     }
 }

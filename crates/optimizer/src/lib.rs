@@ -36,6 +36,7 @@
 pub mod ablation;
 pub mod auto;
 pub mod autoreg_split;
+pub mod cache;
 pub mod config;
 pub mod dp;
 pub mod hetero;
@@ -46,11 +47,12 @@ pub mod stage;
 pub use ablation::{run_ablations, AblationResult};
 pub use auto::{
     best_plan_over_batches, min_cost_for_goodput, min_gpus_for_goodput, plan_feasible,
-    plan_for_cluster,
+    plan_for_cluster, plan_for_cluster_cached,
 };
 pub use autoreg_split::{plan_autoreg_split, AutoRegSplitPlan};
+pub use cache::{CacheStats, PlanCache};
 pub use config::OptimizerConfig;
-pub use dp::optimize_homogeneous;
+pub use dp::{optimize_homogeneous, optimize_homogeneous_cached};
 pub use hetero::optimize_heterogeneous;
 pub use marginal::{SubsetValue, ValueOracle};
 pub use plan::{Split, SplitPlan};

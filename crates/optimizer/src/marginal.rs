@@ -17,8 +17,9 @@ use e3_hardware::{GpuKind, LatencyModel, TransferModel};
 use e3_model::{BatchProfile, EeModel, RampController};
 
 use crate::auto::plan_feasible;
+use crate::cache::PlanCache;
 use crate::config::OptimizerConfig;
-use crate::dp::optimize_homogeneous;
+use crate::dp::optimize_homogeneous_cached;
 use crate::hetero::optimize_heterogeneous;
 use crate::plan::SplitPlan;
 
@@ -48,6 +49,11 @@ pub struct ValueOracle<'a> {
     lm: &'a LatencyModel,
     cfg: &'a OptimizerConfig,
     cache: HashMap<Vec<(GpuKind, usize)>, SubsetValue>,
+    /// Warm-start state for the homogeneous DP behind single-kind
+    /// subsets: the water-filling loop grows counts one GPU at a time,
+    /// which the plan cache answers by extending one DP column instead
+    /// of re-solving.
+    plans: PlanCache,
 }
 
 impl<'a> ValueOracle<'a> {
@@ -71,6 +77,7 @@ impl<'a> ValueOracle<'a> {
             lm,
             cfg,
             cache: HashMap::new(),
+            plans: PlanCache::new(),
         }
     }
 
@@ -118,9 +125,9 @@ impl<'a> ValueOracle<'a> {
         self.cache.len()
     }
 
-    fn solve(&self, key: &[(GpuKind, usize)]) -> SplitPlan {
+    fn solve(&mut self, key: &[(GpuKind, usize)]) -> SplitPlan {
         if let [(kind, n)] = key {
-            return optimize_homogeneous(
+            return optimize_homogeneous_cached(
                 self.model,
                 self.ctrl,
                 self.profile,
@@ -130,6 +137,7 @@ impl<'a> ValueOracle<'a> {
                 self.tm,
                 self.lm,
                 self.cfg,
+                &mut self.plans,
             );
         }
         let counts: BTreeMap<GpuKind, usize> = key.iter().copied().collect();
@@ -149,6 +157,7 @@ impl<'a> ValueOracle<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dp::optimize_homogeneous;
     use e3_model::{zoo, RampStyle};
 
     fn profile() -> BatchProfile {

@@ -77,6 +77,18 @@ impl FusionBuffer {
         self.pending.push_back((sample, now));
     }
 
+    /// Reinserts a sample at the *head* of the buffer, resetting every
+    /// pending enqueue time to `now`. Crash recovery re-queues an
+    /// in-flight job ahead of the waiting ones; the wait clock restarts
+    /// for the whole rebuilt buffer, exactly as if it had been drained
+    /// and re-filled at `now`.
+    pub fn push_front(&mut self, sample: SimSample, now: SimTime) {
+        for (_, t) in &mut self.pending {
+            *t = now;
+        }
+        self.pending.push_front((sample, now));
+    }
+
     /// Enqueue time of the oldest waiting sample.
     pub fn oldest_enqueue(&self) -> Option<SimTime> {
         self.pending.front().map(|(_, t)| *t)

@@ -32,11 +32,11 @@ use rand::SeedableRng;
 
 use e3_hardware::{LatencyModel, TransferModel};
 use e3_model::{EeModel, ExitPolicy, InferenceSim, RampController};
-use e3_simcore::{SimDuration, SimTime};
+use e3_simcore::{EventQueue, ReferenceQueue, SimDuration, SimQueue, SimTime};
 use e3_workload::Request;
 
 use crate::kernel::{
-    AdmitAll, FaultPlan, FusionBatching, Kernel, KernelPolicies, NoStragglerDetection,
+    AdmitAll, Ev, FaultPlan, FusionBatching, Kernel, KernelPolicies, NoStragglerDetection,
     NullObserver, RelativeSlowdown, RunObserver, SloSlackAdmission,
 };
 use crate::report::RunReport;
@@ -280,15 +280,16 @@ impl<'a> ServingSim<'a> {
         self.run_inner(requests, seed, self.default_policies(), observer)
     }
 
-    fn run_inner(
-        &self,
-        requests: &[Request],
-        seed: u64,
-        policies: KernelPolicies<'_>,
-        observer: &mut dyn RunObserver,
-    ) -> SegmentRun {
+    /// Materializes the per-request outcomes (the RNG-bound Monte-Carlo
+    /// pass) into the kernel's backlog form. For a fixed `(requests,
+    /// seed)` the backlog is a pure value: callers can materialize once
+    /// and replay the event loop over it any number of times with
+    /// [`ServingSim::run_backlog_observed`], which is how the kernel
+    /// microbenchmark isolates event-loop throughput from model-layer
+    /// sampling cost.
+    pub fn materialize_backlog(&self, requests: &[Request], seed: u64) -> Vec<SimSample> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let backlog: Vec<SimSample> = requests
+        requests
             .iter()
             .map(|r| {
                 SimSample::materialize(
@@ -300,9 +301,54 @@ impl<'a> ServingSim<'a> {
                     &mut rng,
                 )
             })
-            .collect();
+            .collect()
+    }
 
-        let (acc, consumed) = Kernel::new(self, backlog, policies, observer).run();
+    /// Runs the kernel event loop over an already-materialized backlog
+    /// with the default policies. [`ServingSim::run_observed`] is exactly
+    /// [`ServingSim::materialize_backlog`] followed by this.
+    pub fn run_backlog_observed(
+        &self,
+        backlog: Vec<SimSample>,
+        observer: &mut dyn RunObserver,
+    ) -> RunReport {
+        self.run_backlog::<EventQueue<Ev>>(backlog, self.default_policies(), observer)
+            .report
+    }
+
+    /// [`ServingSim::run_observed`] on the binary-heap
+    /// [`e3_simcore::ReferenceQueue`] instead of the calendar queue — the
+    /// entry point for differential tests that demand byte-identical
+    /// event streams from both queue implementations.
+    pub fn run_observed_reference(
+        &self,
+        requests: &[Request],
+        seed: u64,
+        observer: &mut dyn RunObserver,
+    ) -> RunReport {
+        let backlog = self.materialize_backlog(requests, seed);
+        self.run_backlog::<ReferenceQueue<Ev>>(backlog, self.default_policies(), observer)
+            .report
+    }
+
+    fn run_inner(
+        &self,
+        requests: &[Request],
+        seed: u64,
+        policies: KernelPolicies<'_>,
+        observer: &mut dyn RunObserver,
+    ) -> SegmentRun {
+        let backlog = self.materialize_backlog(requests, seed);
+        self.run_backlog::<EventQueue<Ev>>(backlog, policies, observer)
+    }
+
+    fn run_backlog<Q: SimQueue<Ev>>(
+        &self,
+        backlog: Vec<SimSample>,
+        policies: KernelPolicies<'_>,
+        observer: &mut dyn RunObserver,
+    ) -> SegmentRun {
+        let (acc, consumed) = Kernel::<Q>::new(self, backlog, policies, observer).run();
         let last = acc.last_completion();
         let duration = match self.cfg.horizon {
             Some(h) => last.saturating_since(SimTime::ZERO).max(h),

@@ -81,6 +81,12 @@ impl ContinuousBatching {
         self.queues[stage].drain(..take).map(|(s, _)| s).collect()
     }
 
+    /// Removes and returns the oldest queued sample of `stage`, if any —
+    /// the allocation-free single-admission path.
+    pub fn take_front(&mut self, stage: usize) -> Option<SimSample> {
+        self.queues[stage].pop_front().map(|(s, _)| s)
+    }
+
     /// Re-queues a sample at the *front* of `stage` — preempted sequences
     /// resume before fresh arrivals.
     pub fn push_front(&mut self, stage: usize, sample: SimSample, now: SimTime) {
@@ -292,6 +298,8 @@ struct Driver<'a, 'o> {
     enc: usize,
     cut: usize,
     bwait: SimDuration,
+    /// Reused per-layer width histogram (see `try_start_a`).
+    width_scratch: Vec<usize>,
 }
 
 /// Runs closed-loop continuous batching over `specs` and narrates it to
@@ -378,6 +386,7 @@ pub fn run_continuous(
         enc,
         cut,
         bwait: SimDuration::ZERO,
+        width_scratch: Vec::new(),
     };
     // Default stage-B fusion wait: the inter-arrival gap of boundary
     // crossers — one full-width stage-A pass divided by the stage-A
@@ -495,13 +504,14 @@ impl Driver<'_, '_> {
         }
     }
 
-    fn running_on(&self, r: usize) -> Vec<usize> {
+    /// Sequences currently running on `r`, in resident order. Counting
+    /// (not collecting) keeps the admission loop allocation-free.
+    fn running_count(&self, r: usize) -> usize {
         self.reps[r]
             .resident
             .iter()
-            .copied()
-            .filter(|&i| self.rt[i].state == SState::Running { home: r })
-            .collect()
+            .filter(|&&i| self.rt[i].state == SState::Running { home: r })
+            .count()
     }
 
     fn try_start_a(&mut self, r: usize) {
@@ -511,13 +521,13 @@ impl Driver<'_, '_> {
         // Admission: refill free slots from the pool.
         match self.cfg.join {
             JoinPolicy::Continuous => {
-                while self.running_on(r).len() < self.cfg.b0 && self.pool.len(0) > 0 {
+                while self.running_count(r) < self.cfg.b0 && self.pool.len(0) > 0 {
                     let idx = self.pool.queues_peek_front();
                     if !self.kv_admits(r, idx) {
                         break;
                     }
-                    let s = self.pool.take_up_to(0, 1, self.q.now());
-                    debug_assert_eq!(s[0].id as usize, idx);
+                    let s = self.pool.take_front(0).expect("peeked nonempty");
+                    debug_assert_eq!(s.id as usize, idx);
                     self.admit_to(r, idx);
                 }
             }
@@ -528,18 +538,26 @@ impl Driver<'_, '_> {
                         if !self.kv_admits(r, idx) {
                             break;
                         }
-                        self.pool.take_up_to(0, 1, self.q.now());
+                        let _ = self.pool.take_front(0);
                         self.admit_to(r, idx);
                     }
                 }
             }
         }
-        let pass = {
-            let mut p = self.running_on(r);
-            p.truncate(self.cfg.b0);
-            p
-        };
+        // Reuse the replica's pass buffer across steps: the scheduler's
+        // inner loop allocates nothing in steady state.
+        let mut pass = std::mem::take(&mut self.reps[r].pass);
+        pass.clear();
+        pass.extend(
+            self.reps[r]
+                .resident
+                .iter()
+                .copied()
+                .filter(|&i| self.rt[i].state == SState::Running { home: r }),
+        );
+        pass.truncate(self.cfg.b0);
         if pass.is_empty() {
+            self.reps[r].pass = pass;
             return;
         }
 
@@ -589,8 +607,23 @@ impl Driver<'_, '_> {
             }
         }
         let mut crossers = 0usize;
+        // One-pass width histogram: bucket members by clamped executed
+        // depth, then suffix-sum so `widths[j]` counts members still
+        // active entering layer `enc + j`. Same integers as filtering
+        // the pass per layer, without the O(layers × batch) rescan.
+        let span = self.cut - self.enc;
+        let mut widths = std::mem::take(&mut self.width_scratch);
+        widths.clear();
+        widths.resize(span + 1, 0);
+        for &i in &pass {
+            let tl = self.token_layers(i).clamp(self.enc, self.cut) - self.enc;
+            widths[tl] += 1;
+        }
+        for j in (0..span).rev() {
+            widths[j] += widths[j + 1];
+        }
         for k in self.enc..self.cut {
-            let active = pass.iter().filter(|&&i| self.token_layers(i) > k).count() as f64;
+            let active = widths[k - self.enc + 1] as f64;
             let width = padded_width.unwrap_or(active);
             if width <= 0.0 {
                 continue;
@@ -611,6 +644,7 @@ impl Driver<'_, '_> {
                 }
             }
         }
+        self.width_scratch = widths;
         if self.two_stage() {
             crossers = pass
                 .iter()
@@ -700,9 +734,11 @@ impl Driver<'_, '_> {
             stage: 0,
             size: width as usize,
         });
-        let pass = std::mem::take(&mut self.reps[r].pass);
+        // Take the pass buffer out so the loop can mutate `self`; it is
+        // cleared and handed back below for the next step to reuse.
+        let mut pass = std::mem::take(&mut self.reps[r].pass);
         let mut transfers = 0usize;
-        for idx in pass {
+        for &idx in &pass {
             let layers = self.token_layers(idx);
             self.rt[idx].kv_tokens += 1;
             self.reps[r].kv_used += 1;
@@ -727,6 +763,8 @@ impl Driver<'_, '_> {
                 self.finish_token(idx);
             }
         }
+        pass.clear();
+        self.reps[r].pass = pass;
         if transfers > 0 {
             self.emit(KernelEvent::StageTransfer {
                 from_stage: 0,
@@ -792,11 +830,19 @@ impl Driver<'_, '_> {
     fn preempt_overflow(&mut self, r: usize) {
         let Some(kv) = self.cfg.kv else { return };
         while self.reps[r].kv_used > kv.capacity_tokens {
-            let running = self.running_on(r);
-            if running.len() <= 1 {
+            // Youngest runner = last running entry in resident order.
+            let mut count = 0usize;
+            let mut last = None;
+            for &i in &self.reps[r].resident {
+                if self.rt[i].state == (SState::Running { home: r }) {
+                    count += 1;
+                    last = Some(i);
+                }
+            }
+            if count <= 1 {
                 break;
             }
-            let victim = *running.last().expect("nonempty");
+            let victim = last.expect("nonempty");
             let id = self.specs[victim].id;
             let tokens = self.rt[victim].kv_tokens;
             self.free_kv(victim, r);
@@ -1089,17 +1135,9 @@ impl Driver<'_, '_> {
     }
 
     /// Restores a stage-B job to the head of the fusion buffer (crash
-    /// recovery). `FusionBuffer` has no front-push, so rebuild it.
+    /// recovery); the buffer's wait clock restarts at `now`.
     fn bbuf_push_front(&mut self, job: SimSample) {
-        let mut rebuilt = FusionBuffer::new(self.cfg.b0);
-        let now = self.q.now();
-        rebuilt.push(job, now);
-        while let Some(b) = self.bbuf.take_partial(now) {
-            for s in b.samples {
-                rebuilt.push(s, now);
-            }
-        }
-        self.bbuf = rebuilt;
+        self.bbuf.push_front(job, self.q.now());
     }
 }
 

@@ -45,12 +45,16 @@ pub use policy::{
 use std::collections::VecDeque;
 
 use e3_hardware::GpuKind;
-use e3_simcore::{EventQueue, SimTime};
+use e3_simcore::{EventQueue, SimQueue, SimTime};
 
 use crate::batch::Batch;
 use crate::engine::ServingSim;
 use crate::executor::execute_batch;
 use crate::sample::SimSample;
+
+/// Recycled sample buffers kept per kernel run; bounds pool growth when a
+/// fault burst strands many batches at once.
+const SAMPLE_POOL_CAP: usize = 64;
 
 /// The three policy seams of one kernel run, boxed for injection.
 pub struct KernelPolicies<'p> {
@@ -63,7 +67,7 @@ pub struct KernelPolicies<'p> {
 }
 
 #[derive(Debug, Clone)]
-enum Ev {
+pub(crate) enum Ev {
     Arrival(usize),
     ExecDone {
         replica: usize,
@@ -87,7 +91,7 @@ enum Ev {
 /// A fault-plan entry materialized on the event queue. `Apply` fires at a
 /// fault's start time; the `Expire*` variants close windowed faults.
 #[derive(Debug, Clone)]
-enum FaultAction {
+pub(crate) enum FaultAction {
     Apply(FaultEvent),
     ExpireSlowdown { replica: usize, factor: f64 },
     ExpireStall { stage: usize },
@@ -119,11 +123,15 @@ struct Replica {
 /// [`crate::engine::ServingSim`] with the materialized backlog and the
 /// chosen policies; [`Kernel::run`] drains the event queue and returns
 /// the filled [`RunAccumulator`].
-pub(crate) struct Kernel<'a, 'p> {
+///
+/// Generic over the event queue so differential tests can replay the
+/// identical run on the binary-heap [`e3_simcore::ReferenceQueue`] and
+/// compare event streams against the calendar-queue default.
+pub(crate) struct Kernel<'a, 'p, Q: SimQueue<Ev> = EventQueue<Ev>> {
     sim: &'a ServingSim<'a>,
     policies: KernelPolicies<'p>,
     observer: &'p mut dyn RunObserver,
-    q: EventQueue<Ev>,
+    q: Q,
     replicas: Vec<Replica>,
     stage_replicas: Vec<Vec<usize>>,
     flush_pending: Vec<bool>,
@@ -146,9 +154,15 @@ pub(crate) struct Kernel<'a, 'p> {
     /// so segmented windows know where the next segment resumes.
     consumed: usize,
     acc: RunAccumulator,
+    /// Recycled sample buffers: batches formed on the hot path draw their
+    /// `Vec<SimSample>` here instead of the allocator, and fully-completed
+    /// batches return theirs. Keeps the steady-state loop allocation-free.
+    sample_pool: Vec<Vec<SimSample>>,
+    /// Reused scratch for straggler peer comparisons.
+    perf_scratch: Vec<ReplicaPerf>,
 }
 
-impl<'a, 'p> Kernel<'a, 'p> {
+impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
     pub(crate) fn new(
         sim: &'a ServingSim<'a>,
         backlog: Vec<SimSample>,
@@ -192,7 +206,7 @@ impl<'a, 'p> Kernel<'a, 'p> {
             sim,
             policies,
             observer,
-            q: EventQueue::new(),
+            q: Q::new(),
             replicas,
             stage_replicas,
             flush_pending: vec![false; num_stages],
@@ -209,6 +223,21 @@ impl<'a, 'p> Kernel<'a, 'p> {
                 sim.cfg.slo,
                 sim.cfg.record_exit_events,
             ),
+            sample_pool: Vec::new(),
+            perf_scratch: Vec::new(),
+        }
+    }
+
+    /// Draws a cleared sample buffer from the pool (or the allocator).
+    fn pool_get(&mut self) -> Vec<SimSample> {
+        self.sample_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a drained sample buffer to the pool.
+    fn pool_put(&mut self, mut v: Vec<SimSample>) {
+        if self.sample_pool.len() < SAMPLE_POOL_CAP {
+            v.clear();
+            self.sample_pool.push(v);
         }
     }
 
@@ -222,8 +251,8 @@ impl<'a, 'p> Kernel<'a, 'p> {
         // scheduled at the same instant, independent of plan contents.
         self.schedule_faults();
         if self.sim.cfg.closed_loop {
-            let ids = self.stage_replicas[0].clone();
-            for r in ids {
+            for k in 0..self.stage_replicas[0].len() {
+                let r = self.stage_replicas[0][k];
                 self.feed_closed_loop(r);
             }
         } else {
@@ -261,7 +290,10 @@ impl<'a, 'p> Kernel<'a, 'p> {
 
     /// Materializes the configured [`FaultPlan`] onto the event queue.
     fn schedule_faults(&mut self) {
-        for &f in self.sim.cfg.fault_plan.clone().events() {
+        // `sim` is a shared reference with its own lifetime; copying it out
+        // lets the loop borrow the plan while scheduling through `self`.
+        let sim = self.sim;
+        for &f in sim.cfg.fault_plan.events() {
             self.q
                 .schedule(f.starts_at(), Ev::Fault(FaultAction::Apply(f)));
             match f {
@@ -304,7 +336,7 @@ impl<'a, 'p> Kernel<'a, 'p> {
         self.pump(0);
     }
 
-    fn on_batch_ready(&mut self, stage: usize, batch: Batch) {
+    fn on_batch_ready(&mut self, stage: usize, mut batch: Batch) {
         let now = self.now();
         self.observer.on_event(
             now,
@@ -313,9 +345,10 @@ impl<'a, 'p> Kernel<'a, 'p> {
                 size: batch.len(),
             },
         );
-        for s in batch.samples {
+        for s in batch.samples.drain(..) {
             self.policies.batching.push(stage, s, now);
         }
+        self.pool_put(batch.samples);
         self.pump(stage);
     }
 
@@ -399,7 +432,7 @@ impl<'a, 'p> Kernel<'a, 'p> {
     }
 
     /// Drops a whole batch at routing time (queue bound reached).
-    fn shed_batch(&mut self, stage: usize, batch: Batch) {
+    fn shed_batch(&mut self, stage: usize, mut batch: Batch) {
         let now = self.now();
         self.acc.record_shed(batch.len());
         self.observer.on_event(
@@ -409,7 +442,7 @@ impl<'a, 'p> Kernel<'a, 'p> {
                 size: batch.len(),
             },
         );
-        for s in batch.samples {
+        for s in batch.samples.drain(..) {
             self.in_flight = self.in_flight.saturating_sub(1);
             self.observer.on_event(
                 now,
@@ -419,6 +452,7 @@ impl<'a, 'p> Kernel<'a, 'p> {
                 },
             );
         }
+        self.pool_put(batch.samples);
         self.wake_feeders();
     }
 
@@ -440,10 +474,14 @@ impl<'a, 'p> Kernel<'a, 'p> {
                 return;
             };
             if !self.policies.admission.is_permissive() {
-                let mut kept = Vec::with_capacity(batch.samples.len());
-                for s in batch.samples.drain(..) {
+                // In-place compaction (samples are `Copy`): no per-batch
+                // allocation on the admission-filtered path.
+                let mut kept = 0;
+                for i in 0..batch.samples.len() {
+                    let s = batch.samples[i];
                     if self.policies.admission.admit(now, stage, &s) {
-                        kept.push(s);
+                        batch.samples[kept] = s;
+                        kept += 1;
                     } else {
                         self.acc.record_drop();
                         self.observer.on_event(
@@ -455,9 +493,10 @@ impl<'a, 'p> Kernel<'a, 'p> {
                         );
                     }
                 }
-                batch.samples = kept;
+                batch.samples.truncate(kept);
             }
             if batch.samples.is_empty() {
+                self.pool_put(batch.samples);
                 continue;
             }
             self.observer.on_event(
@@ -494,7 +533,8 @@ impl<'a, 'p> Kernel<'a, 'p> {
         }
         let now = self.now();
         let end = (self.backlog_cursor + target).min(self.backlog.len());
-        let mut samples = Vec::with_capacity(end - self.backlog_cursor);
+        let mut samples = self.pool_get();
+        samples.reserve(end - self.backlog_cursor);
         for i in self.backlog_cursor..end {
             let mut s = self.backlog[i];
             s.arrival = now; // closed loop: latency measured from dispatch
@@ -582,7 +622,7 @@ impl<'a, 'p> Kernel<'a, 'p> {
         let now = self.now();
         let stage = self.replicas[rid].stage;
         let stage_end = self.sim.stages[stage].layers.end;
-        let batch = self.replicas[rid]
+        let mut batch = self.replicas[rid]
             .running
             .take()
             .expect("exec done without a running batch");
@@ -597,16 +637,25 @@ impl<'a, 'p> Kernel<'a, 'p> {
             },
         );
 
-        let mut survivors = Vec::new();
-        for s in batch.samples {
+        // Completions and survivor compaction in one in-place pass, in the
+        // original sample order (samples are `Copy`). The surviving batch
+        // reuses its own buffer downstream; a fully-completed batch returns
+        // its buffer to the pool. No allocation either way.
+        let mut survivors = 0;
+        for i in 0..batch.samples.len() {
+            let s = batch.samples[i];
             if s.finishes_before(stage_end) {
                 self.complete(s, now);
             } else {
-                survivors.push(s);
+                batch.samples[survivors] = s;
+                survivors += 1;
             }
         }
-        if !survivors.is_empty() {
-            self.send_downstream(stage, survivors, now);
+        batch.samples.truncate(survivors);
+        if batch.samples.is_empty() {
+            self.pool_put(batch.samples);
+        } else {
+            self.send_downstream(stage, batch.samples, now);
         }
 
         if self.policies.straggler.enabled() {
@@ -683,7 +732,7 @@ impl<'a, 'p> Kernel<'a, 'p> {
     /// A parked transfer's retry timer fired: send if the link is back,
     /// back off again if not, abort (dropping the samples) once the
     /// retry budget is spent.
-    fn on_transfer_retry(&mut self, from_stage: usize, batch: Batch, attempt: u32) {
+    fn on_transfer_retry(&mut self, from_stage: usize, mut batch: Batch, attempt: u32) {
         let now = self.now();
         let retry = self.sim.cfg.transfer_retry;
         if self.link_down[from_stage] == 0 {
@@ -699,7 +748,7 @@ impl<'a, 'p> Kernel<'a, 'p> {
                     size: batch.len(),
                 },
             );
-            for s in batch.samples {
+            for s in batch.samples.drain(..) {
                 self.in_flight = self.in_flight.saturating_sub(1);
                 self.observer.on_event(
                     now,
@@ -709,6 +758,7 @@ impl<'a, 'p> Kernel<'a, 'p> {
                     },
                 );
             }
+            self.pool_put(batch.samples);
             self.wake_feeders();
             return;
         }
@@ -738,8 +788,8 @@ impl<'a, 'p> Kernel<'a, 'p> {
     /// have released backpressure). A no-op in open loop.
     fn wake_feeders(&mut self) {
         if self.sim.cfg.closed_loop {
-            let feeders = self.stage_replicas[0].clone();
-            for r in feeders {
+            for k in 0..self.stage_replicas[0].len() {
+                let r = self.stage_replicas[0][k];
                 if !self.replicas[r].busy && self.replicas[r].queue.is_empty() {
                     self.feed_closed_loop(r);
                 }
@@ -772,12 +822,17 @@ impl<'a, 'p> Kernel<'a, 'p> {
             per_sample_secs_sum: r.per_sample_secs_sum,
         };
         let candidate = perf(&self.replicas[rid]);
-        let peers: Vec<ReplicaPerf> = self.stage_replicas[stage]
-            .iter()
-            .filter(|&&r| r != rid && !self.replicas[r].excluded)
-            .map(|&r| perf(&self.replicas[r]))
-            .collect();
-        if self.policies.straggler.should_exclude(candidate, &peers) {
+        let mut peers = std::mem::take(&mut self.perf_scratch);
+        peers.clear();
+        peers.extend(
+            self.stage_replicas[stage]
+                .iter()
+                .filter(|&&r| r != rid && !self.replicas[r].excluded)
+                .map(|&r| perf(&self.replicas[r])),
+        );
+        let exclude = self.policies.straggler.should_exclude(candidate, &peers);
+        self.perf_scratch = peers;
+        if exclude {
             self.replicas[rid].excluded = true;
             self.acc.record_straggler(rid);
             self.acc.record_exclusion(rid, self.now());
@@ -832,7 +887,8 @@ impl<'a, 'p> Kernel<'a, 'p> {
                 self.stalled[stage] = self.stalled[stage].saturating_sub(1);
                 if self.stalled[stage] == 0 {
                     // Dispatch resumes: kick every replica of the stage.
-                    for rid in self.stage_replicas[stage].clone() {
+                    for k in 0..self.stage_replicas[stage].len() {
+                        let rid = self.stage_replicas[stage][k];
                         self.try_begin(rid);
                     }
                 }
@@ -897,7 +953,8 @@ impl<'a, 'p> Kernel<'a, 'p> {
         // Batches routed while every peer was down sit on a crashed
         // replica's queue (the route() fallback); reclaim them now.
         let mut stranded: Vec<Batch> = Vec::new();
-        for peer in self.stage_replicas[stage].clone() {
+        for k in 0..self.stage_replicas[stage].len() {
+            let peer = self.stage_replicas[stage][k];
             if self.replicas[peer].crashed {
                 stranded.extend(self.replicas[peer].queue.drain(..));
             }

@@ -11,7 +11,11 @@ use e3_simcore::SimTime;
 use super::faults::{ExclusionReason, FaultEvent};
 
 /// One state transition inside the serving kernel.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Every variant carries only scalar payloads, so the whole event is a
+/// compact `Copy` record: observers and logs store it by value — no
+/// per-event allocation anywhere on the recording path.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum KernelEvent {
     /// A request entered the system (open-loop arrival, or closed-loop
     /// pull from the backlog).
@@ -278,6 +282,9 @@ impl RunObserver for TeeObserver<'_> {
 }
 
 /// Records the full timestamped event stream (tests, tracing).
+///
+/// The log is an arena of compact `Copy` records: appending never
+/// allocates per event, only when the backing arena grows.
 #[derive(Debug, Clone, Default)]
 pub struct EventLog {
     /// The recorded stream, in execution order.
@@ -288,6 +295,14 @@ impl EventLog {
     /// An empty log.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty log with room for `capacity` events before the arena
+    /// reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            events: Vec::with_capacity(capacity),
+        }
     }
 
     /// The events concerning request `id`, in order: its arrival, any
@@ -316,7 +331,7 @@ impl EventLog {
 
 impl RunObserver for EventLog {
     fn on_event(&mut self, now: SimTime, event: &KernelEvent) {
-        self.events.push((now, event.clone()));
+        self.events.push((now, *event));
     }
 }
 
@@ -373,7 +388,7 @@ pub struct TagObserver<'a> {
 
 impl RunObserver for TagObserver<'_> {
     fn on_event(&mut self, now: SimTime, event: &KernelEvent) {
-        self.log.events.push((self.tag, now, event.clone()));
+        self.log.events.push((self.tag, now, *event));
     }
 }
 

@@ -1,0 +1,118 @@
+//! Differential property test: the arena-backed calendar queue must be
+//! observationally indistinguishable from the binary-heap
+//! [`e3_simcore::ReferenceQueue`] it replaced. Both queues drive the
+//! same kernel over the same materialized backlog; the test demands the
+//! *entire* kernel event stream — every event, timestamp, and ordering
+//! decision, under arbitrary decoded fault plans — comes out identical.
+//! Duplicate-timestamp FIFO ties are where heap and calendar orderings
+//! could legally diverge, so fault times are drawn from a coarse grid to
+//! force plenty of simultaneous events.
+
+use proptest::prelude::*;
+
+use e3_hardware::{ClusterSpec, GpuKind, LatencyModel, TransferModel};
+use e3_model::{zoo, BatchProfile, InferenceSim, RampController, RampStyle};
+use e3_optimizer::{optimize_homogeneous, OptimizerConfig};
+use e3_runtime::kernel::{EventLog, FaultPlan};
+use e3_runtime::{ServingConfig, ServingSim, Strategy};
+use e3_simcore::SimTime;
+use e3_workload::{DatasetModel, Request};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Decodes raw entropy words into a fault plan that is valid for
+/// `num_replicas` replicas and `num_stages` stages: each word yields one
+/// fault (crash, crash + delayed recovery, transient slowdown, or stage
+/// stall) with millisecond-grid times inside the run, so any word vector
+/// produces a well-formed plan and ties abound.
+fn decoded_fault_plan(words: &[u64], num_replicas: usize, num_stages: usize) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for &w in words {
+        let replica = ((w >> 3) % num_replicas as u64) as usize;
+        let stage = ((w >> 7) % num_stages as u64) as usize;
+        let from = SimTime::from_millis((w >> 16) % 150);
+        let until = from + e3_simcore::SimDuration::from_millis(1 + (w >> 24) % 60);
+        match w % 4 {
+            0 => plan = plan.crash(replica, from),
+            1 => plan = plan.crash(replica, from).recover(replica, until),
+            2 => {
+                let factor = 1.5 + ((w >> 32) % 5) as f64 * 0.5;
+                plan = plan.slowdown(replica, factor, from, until);
+            }
+            _ => plan = plan.stall(stage, from, until),
+        }
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn calendar_queue_replays_reference_event_stream(
+        words in proptest::collection::vec(0u64..u64::MAX, 1..6),
+        seed in 0u64..u64::MAX,
+    ) {
+        // A multi-stage E3 plan on a small cluster: stage faults and
+        // transfer events only exist with at least two stages.
+        let model = zoo::deebert();
+        let ctrl = RampController::all_enabled(model.num_ramps(), RampStyle::Independent);
+        let policy = zoo::default_policy("DeeBERT");
+        let profile = BatchProfile::new(vec![
+            1.0, 0.97, 0.83, 0.65, 0.49, 0.36, 0.27, 0.22, 0.21, 0.19, 0.16, 0.11, 0.11,
+        ]);
+        let (tm, lm) = (TransferModel::default(), LatencyModel::new());
+        let plan = optimize_homogeneous(
+            &model,
+            &ctrl,
+            &profile,
+            GpuKind::V100,
+            6,
+            8.0,
+            &tm,
+            &lm,
+            &OptimizerConfig::default(),
+        );
+        let cluster = ClusterSpec::homogeneous(GpuKind::V100, 6, 4);
+        let stages = Strategy::Plan(plan).realize(&model, &cluster);
+        let num_replicas: usize = stages.iter().map(|s| s.replicas.len()).sum();
+        let fault_plan = decoded_fault_plan(&words, num_replicas, stages.len());
+        fault_plan.validate(num_replicas, stages.len());
+
+        let sim = ServingSim::new(
+            &model,
+            policy,
+            ctrl.clone(),
+            InferenceSim::new(),
+            stages,
+            lm,
+            tm,
+            ServingConfig {
+                fault_plan,
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dataset = DatasetModel::sst2();
+        let requests: Vec<Request> = (0..1500u64)
+            .map(|id| Request {
+                id,
+                arrival: SimTime::ZERO,
+                hardness: dataset.sample_hardness(&mut rng),
+                output_tokens: 1,
+            })
+            .collect();
+
+        let mut calendar_log = EventLog::new();
+        let calendar = sim.run_observed(&requests, seed, &mut calendar_log);
+        let mut reference_log = EventLog::new();
+        let reference = sim.run_observed_reference(&requests, seed, &mut reference_log);
+
+        prop_assert_eq!(calendar_log.events.len(), reference_log.events.len());
+        prop_assert_eq!(&calendar_log.events, &reference_log.events);
+        prop_assert_eq!(calendar.completed, reference.completed);
+        prop_assert_eq!(calendar.within_slo, reference.within_slo);
+        prop_assert_eq!(calendar.dropped, reference.dropped);
+        prop_assert_eq!(calendar.duration, reference.duration);
+    }
+}

@@ -355,7 +355,15 @@ impl ScenarioMatrix {
     /// Runs `cells`, shrinking the first failure (if any) to a minimal
     /// repro.
     pub fn run(&self, cells: &[ScenarioCell]) -> MatrixOutcome {
-        let outcomes: Vec<CellOutcome> = cells.iter().map(|c| self.run_cell(*c)).collect();
+        self.assemble(cells.iter().map(|c| self.run_cell(*c)).collect())
+    }
+
+    /// Builds a [`MatrixOutcome`] from per-cell outcomes produced
+    /// elsewhere — each cell is deterministic from the seed alone, so a
+    /// driver may run [`ScenarioMatrix::run_cell`] on any thread in any
+    /// order and hand the outcomes back *in cell order*. Shrinks the
+    /// first failure exactly as [`ScenarioMatrix::run`] would.
+    pub fn assemble(&self, outcomes: Vec<CellOutcome>) -> MatrixOutcome {
         let shrunk_repro = outcomes
             .iter()
             .find(|o| !o.pass())

@@ -1,11 +1,17 @@
-//! Stable discrete-event queue.
+//! Stable discrete-event queue — the reference implementation.
 //!
 //! A simulation is a loop that pops the earliest scheduled event, advances
 //! the clock to its timestamp, and handles it (possibly scheduling more
 //! events). Correctness of the reproduction demands *stable* ordering:
 //! events scheduled for the same instant must pop in the order they were
-//! scheduled, otherwise runs would not be reproducible. [`EventQueue`]
+//! scheduled, otherwise runs would not be reproducible. [`ReferenceQueue`]
 //! guarantees this with a monotonically increasing sequence number.
+//!
+//! This binary-heap queue is the *specification*: obviously correct, one
+//! comparison path, no tuning knobs. The hot-path simulator runs on the
+//! arena-backed calendar queue ([`crate::calendar::EventQueue`]), which must
+//! pop the exact same `(at, seq)` sequence; differential tests replay full
+//! kernel runs against this queue to prove it.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -49,16 +55,16 @@ impl<E> PartialOrd for ScheduledEvent<E> {
 
 /// A deterministic priority queue of future events.
 ///
-/// The queue also tracks the simulation clock: [`EventQueue::pop`] advances
+/// The queue also tracks the simulation clock: [`ReferenceQueue::pop`] advances
 /// `now` to the popped event's timestamp, and scheduling an event in the
 /// past is rejected (it would make the simulation non-causal).
 ///
 /// # Examples
 ///
 /// ```
-/// use e3_simcore::{EventQueue, SimDuration, SimTime};
+/// use e3_simcore::{ReferenceQueue, SimDuration, SimTime};
 ///
-/// let mut q: EventQueue<&str> = EventQueue::new();
+/// let mut q: ReferenceQueue<&str> = ReferenceQueue::new();
 /// q.schedule(SimTime::from_millis(5), "late");
 /// q.schedule(SimTime::from_millis(1), "early");
 /// q.schedule_after(SimDuration::from_millis(1), "also-early");
@@ -70,23 +76,23 @@ impl<E> PartialOrd for ScheduledEvent<E> {
 /// assert!(q.pop().is_none());
 /// ```
 #[derive(Debug)]
-pub struct EventQueue<E> {
+pub struct ReferenceQueue<E> {
     heap: BinaryHeap<ScheduledEvent<E>>,
     now: SimTime,
     next_seq: u64,
     processed: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for ReferenceQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> ReferenceQueue<E> {
     /// Creates an empty queue with the clock at time zero.
     pub fn new() -> Self {
-        EventQueue {
+        ReferenceQueue {
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             next_seq: 0,
@@ -179,6 +185,75 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// The event-queue interface simulation drivers are generic over.
+///
+/// Both the hot-path calendar queue ([`crate::calendar::EventQueue`], the
+/// default everywhere) and the binary-heap [`ReferenceQueue`] implement it
+/// with identical semantics, so differential tests can run the *same*
+/// simulation on both queues and compare the resulting event streams.
+pub trait SimQueue<E> {
+    /// Creates an empty queue with the clock at time zero.
+    fn new() -> Self;
+    /// Current simulated time (the timestamp of the last popped event).
+    fn now(&self) -> SimTime;
+    /// Number of events popped so far.
+    fn processed(&self) -> u64;
+    /// Number of events still pending.
+    fn len(&self) -> usize;
+    /// True if no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Schedules `event` at absolute time `at`; panics if `at` is in the past.
+    fn schedule(&mut self, at: SimTime, event: E);
+    /// Schedules `event` at `now + delay`.
+    fn schedule_after(&mut self, delay: crate::time::SimDuration, event: E);
+    /// Advances the clock without popping; panics past a pending event.
+    fn advance(&mut self, d: crate::time::SimDuration) -> SimTime;
+    /// Pops the earliest event and advances the clock to its timestamp.
+    fn pop(&mut self) -> Option<ScheduledEvent<E>>;
+    /// Timestamp of the next pending event, if any.
+    fn peek_time(&self) -> Option<SimTime>;
+    /// Discards all pending events, leaving the clock unchanged.
+    fn clear_pending(&mut self);
+}
+
+impl<E> SimQueue<E> for ReferenceQueue<E> {
+    fn new() -> Self {
+        ReferenceQueue::new()
+    }
+    fn now(&self) -> SimTime {
+        ReferenceQueue::now(self)
+    }
+    fn processed(&self) -> u64 {
+        ReferenceQueue::processed(self)
+    }
+    fn len(&self) -> usize {
+        ReferenceQueue::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        ReferenceQueue::is_empty(self)
+    }
+    fn schedule(&mut self, at: SimTime, event: E) {
+        ReferenceQueue::schedule(self, at, event)
+    }
+    fn schedule_after(&mut self, delay: crate::time::SimDuration, event: E) {
+        ReferenceQueue::schedule_after(self, delay, event)
+    }
+    fn advance(&mut self, d: crate::time::SimDuration) -> SimTime {
+        ReferenceQueue::advance(self, d)
+    }
+    fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        ReferenceQueue::pop(self)
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        ReferenceQueue::peek_time(self)
+    }
+    fn clear_pending(&mut self) {
+        ReferenceQueue::clear_pending(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,7 +261,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         q.schedule(SimTime::from_millis(3), 3u32);
         q.schedule(SimTime::from_millis(1), 1u32);
         q.schedule(SimTime::from_millis(2), 2u32);
@@ -196,7 +271,7 @@ mod tests {
 
     #[test]
     fn ties_break_fifo() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         let t = SimTime::from_millis(1);
         for i in 0..100u32 {
             q.schedule(t, i);
@@ -207,7 +282,7 @@ mod tests {
 
     #[test]
     fn clock_advances_monotonically() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         q.schedule(SimTime::from_millis(5), ());
         q.schedule(SimTime::from_millis(7), ());
         assert_eq!(q.now(), SimTime::ZERO);
@@ -221,7 +296,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "scheduled in the past")]
     fn scheduling_in_the_past_panics() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         q.schedule(SimTime::from_millis(5), ());
         q.pop();
         q.schedule(SimTime::from_millis(1), ());
@@ -229,7 +304,7 @@ mod tests {
 
     #[test]
     fn schedule_after_uses_current_clock() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         q.schedule(SimTime::from_millis(10), "a");
         q.pop();
         q.schedule_after(SimDuration::from_millis(5), "b");
@@ -240,7 +315,7 @@ mod tests {
 
     #[test]
     fn advance_moves_clock_without_popping() {
-        let mut q: EventQueue<()> = EventQueue::new();
+        let mut q: ReferenceQueue<()> = ReferenceQueue::new();
         assert_eq!(
             q.advance(SimDuration::from_millis(4)),
             SimTime::from_millis(4)
@@ -255,14 +330,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "advance past a pending event")]
     fn advance_past_pending_event_panics() {
-        let mut q: EventQueue<()> = EventQueue::new();
+        let mut q: ReferenceQueue<()> = ReferenceQueue::new();
         q.schedule(SimTime::from_millis(1), ());
         q.advance(SimDuration::from_millis(2));
     }
 
     #[test]
     fn clear_pending_empties_queue() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         q.schedule(SimTime::from_millis(1), ());
         q.schedule(SimTime::from_millis(2), ());
         q.clear_pending();

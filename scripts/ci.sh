@@ -35,6 +35,28 @@ test -s /tmp/fig_kv.out
     | grep -q "zero invariant violations"
 test -s /tmp/fig_matrix.out
 
+# Planning-at-scale smoke: the warm-started DP must plan a 10k-GPU
+# cluster inside the budget (the binary self-judges and exits non-zero
+# on FAIL).
+./target/release/fig_scale | tee /tmp/fig_scale.out | grep -q "10k-GPU horizon PASS"
+test -s /tmp/fig_scale.out
+
 # Kernel event-throughput microbenchmark, archived as BENCH_kernel.json.
-./target/release/bench_kernel | tee BENCH_kernel.json
-grep -q "events_per_sec" BENCH_kernel.json
+# The committed baseline is the regression bar: fail if the windowed
+# kernel section drops more than 30% below it.
+baseline=$(sed -n 's/.*"bench":"kernel".*"events_per_sec":\([0-9]*\).*/\1/p' BENCH_kernel.json | head -n 1)
+./target/release/bench_kernel | tee /tmp/bench_kernel.out
+grep -q "events_per_sec" /tmp/bench_kernel.out
+current=$(sed -n 's/.*"bench":"kernel".*"events_per_sec":\([0-9]*\).*/\1/p' /tmp/bench_kernel.out | head -n 1)
+if [ -n "$baseline" ] && [ "$baseline" -gt 0 ]; then
+    floor=$((baseline * 7 / 10))
+    if [ "$current" -lt "$floor" ]; then
+        echo "bench_kernel regression: ${current} events/sec < 70% of baseline ${baseline}" >&2
+        exit 1
+    fi
+fi
+cp /tmp/bench_kernel.out BENCH_kernel.json
+
+# Optimizer planning-time benchmark, archived as BENCH_optimizer.json.
+./target/release/bench_optimizer | tee BENCH_optimizer.json
+grep -q '"gpus":10000' BENCH_optimizer.json

@@ -118,7 +118,7 @@ fn double_firing_a_kv_admitted_fires_kv_accounting() {
         .iter()
         .position(|(_, e)| matches!(e, KernelEvent::KvAdmitted { .. }))
         .expect("no KvAdmitted in log");
-    let dup = log.events[pos].clone();
+    let dup = log.events[pos];
     log.events.insert(pos + 1, dup);
     assert_fires(&log, InvariantClass::KvAccounting);
 }
@@ -131,7 +131,7 @@ fn duplicating_an_arrival_fires_sample_conservation() {
         .iter()
         .position(|(_, e)| matches!(e, KernelEvent::Arrival { .. }))
         .expect("no Arrival in log");
-    let dup = log.events[pos].clone();
+    let dup = log.events[pos];
     log.events.insert(pos + 1, dup);
     assert_fires(&log, InvariantClass::SampleConservation);
 }
@@ -144,7 +144,7 @@ fn duplicating_a_sequence_joined_fires_sequence_residency() {
         .iter()
         .position(|(_, e)| matches!(e, KernelEvent::SequenceJoined { .. }))
         .expect("no SequenceJoined in log");
-    let dup = log.events[pos].clone();
+    let dup = log.events[pos];
     log.events.insert(pos + 1, dup);
     assert_fires(&log, InvariantClass::SequenceResidency);
 }
@@ -167,7 +167,7 @@ fn exec_start_on_crashed_replica_fires_replica_lifecycle() {
         .iter()
         .position(|(_, e)| matches!(e, KernelEvent::ReplicaExcluded { .. }))
         .expect("no ReplicaExcluded in log");
-    let (at, excluded) = log.events[pos].clone();
+    let (at, excluded) = log.events[pos];
     let replica = match excluded {
         KernelEvent::ReplicaExcluded { replica, .. } => replica,
         _ => unreachable!(),
@@ -254,7 +254,7 @@ mod epochs {
     #[test]
     fn double_promotion_fires_reconfig_epochs() {
         let mut log = legal_epoch_log();
-        let dup = log.events[1].clone();
+        let dup = log.events[1];
         log.events.insert(2, dup);
         let v = epoch_violations(&log);
         assert!(v.iter().any(|v| v.class == InvariantClass::ReconfigEpochs));
