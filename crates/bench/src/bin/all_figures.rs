@@ -35,6 +35,7 @@ fn main() {
         "generality_policies",
         "ablations",
         "fig_degradation",
+        "fig_brownout",
         "fig_reconfig",
         "fig_multitenant",
         "fig_matrix",

@@ -1,0 +1,7 @@
+//! Brownout control plane: exit-depth degradation vs shed-only overload
+//! control under a correlated rack crash + fleet-wide slowdown, plus a
+//! gray-failure sweep showing hedged dispatch recovering the tail.
+
+fn main() {
+    print!("{}", e3_bench::figs::fig_brownout_report());
+}

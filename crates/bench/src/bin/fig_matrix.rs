@@ -1,7 +1,7 @@
 //! Scenario-matrix stress run: composed arrival/drift/fault/skew/guard/
 //! exit-policy cells with online invariant checking of every kernel
 //! stream. Runs the pruned smoke subset by default; `--full` runs the
-//! complete 96-cell cross product.
+//! complete 320-cell cross product.
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");

@@ -1,0 +1,483 @@
+//! Brownout control plane: graceful exit-depth degradation under
+//! overload.
+//!
+//! Early-exit models carry a built-in degradation axis that plain DNN
+//! serving lacks: *how deep* samples run before leaving. When a window
+//! misses its SLO attainment target, shedding load is not the only lever
+//! — the system can first push samples out at shallower ramps (slightly
+//! lower accuracy, much less compute per sample), then tighten
+//! admission, and only shed as a last resort. [`BrownoutController`]
+//! walks that **degradation ladder** deterministically, one rung per
+//! observed window, with hysteresis so attainment noise does not make
+//! the system flap between rungs.
+//!
+//! The ladder, for `max_level = 3` (the default):
+//!
+//! | level | exit thresholds | queue bound | meaning |
+//! |-------|-----------------|-------------|---------|
+//! | 0     | nominal         | nominal     | normal operation |
+//! | 1     | loosened ×step  | nominal     | shallower exits only |
+//! | 2     | loosened ×step² | `admission_queue_cap` | + admission tightening |
+//! | 3     | loosened ×step³ | `shed_queue_cap`, sheds tagged [`ShedCause::Brownout`] | + deliberate shed |
+//!
+//! The controller layers on [`AdaptiveExitPolicy`]: it wraps any inner
+//! policy (fixed or online-tuned) and degrades whatever the inner policy
+//! currently proposes, so brownout composes with online threshold
+//! tuning. It also exposes [`BrownoutController::degrade_profile`] so
+//! the DP planner can be handed the *degraded* exit-rate profile — the
+//! re-plan then splits the model where batches will actually shrink
+//! under brownout, and re-planning and brownout compose instead of
+//! fighting.
+//!
+//! Everything here is strictly between-windows: within a window the
+//! policy is a frozen [`ExitPolicy`] and the kernel is untouched, so
+//! per-window determinism (and golden byte-identity with the controller
+//! disabled) is preserved.
+
+use e3_model::{BatchProfile, ExitPolicy};
+use e3_runtime::ShedCause;
+
+use crate::policy::AdaptiveExitPolicy;
+
+/// Tuning for the [`BrownoutController`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrownoutConfig {
+    /// SLO attainment below which the controller escalates one rung.
+    pub enter_attainment: f64,
+    /// SLO attainment at or above which it de-escalates one rung. Must
+    /// exceed `enter_attainment` — the gap is the hysteresis band.
+    pub exit_attainment: f64,
+    /// Peak per-replica queue depth that also counts as overload (the
+    /// leading indicator: queues grow before attainment collapses).
+    /// `None` escalates on attainment alone.
+    pub queue_trigger: Option<usize>,
+    /// Deepest rung of the ladder.
+    pub max_level: u8,
+    /// Multiplicative exit-threshold loosening per rung (> 1).
+    pub threshold_step: f64,
+    /// Per-rung increment of the survival exponent used by
+    /// [`BrownoutController::degrade_profile`] (> 0): level `L` raises
+    /// survival fractions to the power `1 + profile_boost * L`.
+    pub profile_boost: f64,
+    /// Queue bound applied from the admission-tightening rung
+    /// (`max_level - 1`) on.
+    pub admission_queue_cap: usize,
+    /// Queue bound applied at the shed rung (`max_level`).
+    pub shed_queue_cap: usize,
+    /// Windows to hold after a rung change before moving again.
+    pub dwell_windows: u32,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            enter_attainment: 0.9,
+            exit_attainment: 0.97,
+            queue_trigger: None,
+            max_level: 3,
+            threshold_step: 1.3,
+            profile_boost: 0.5,
+            admission_queue_cap: 2,
+            shed_queue_cap: 1,
+            dwell_windows: 1,
+        }
+    }
+}
+
+impl BrownoutConfig {
+    /// Panics unless the ladder is well-formed.
+    fn validate(&self) {
+        assert!(
+            self.enter_attainment < self.exit_attainment,
+            "hysteresis band inverted: enter {} >= exit {}",
+            self.enter_attainment,
+            self.exit_attainment
+        );
+        assert!(self.max_level >= 1, "need at least one rung");
+        assert!(self.threshold_step > 1.0, "threshold_step must loosen");
+        assert!(self.profile_boost > 0.0, "profile_boost must be positive");
+        assert!(self.shed_queue_cap >= 1, "shed cap must admit something");
+        assert!(
+            self.admission_queue_cap >= self.shed_queue_cap,
+            "admission rung must be gentler than the shed rung"
+        );
+    }
+}
+
+/// A rung change reported by [`BrownoutController::observe_window`],
+/// mirrored onto the kernel event stream by the control loop as
+/// `BrownoutEntered` / `BrownoutLevel` / `BrownoutExited`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrownoutTransition {
+    /// Left normal operation: level moved `0 -> level`.
+    Entered(u8),
+    /// Moved between nonzero rungs (either direction).
+    Level(u8),
+    /// Returned to normal operation: level moved `_ -> 0`.
+    Exited,
+}
+
+/// The brownout controller: a hysteresis ladder over a wrapped
+/// [`AdaptiveExitPolicy`]. See the module docs for the ladder.
+#[derive(Debug, Clone)]
+pub struct BrownoutController<P> {
+    inner: P,
+    cfg: BrownoutConfig,
+    level: u8,
+    dwell: u32,
+}
+
+impl<P: AdaptiveExitPolicy> BrownoutController<P> {
+    /// Wraps `inner`; starts at level 0 (normal operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is not a well-formed ladder.
+    pub fn new(inner: P, cfg: BrownoutConfig) -> Self {
+        cfg.validate();
+        BrownoutController {
+            inner,
+            cfg,
+            level: 0,
+            dwell: 0,
+        }
+    }
+
+    /// The rung currently in force.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// True while the shed rung's deliberately tightened queue bound is
+    /// in force.
+    pub fn shedding(&self) -> bool {
+        self.level >= self.cfg.max_level
+    }
+
+    /// Feeds back one served window: its SLO attainment in `[0, 1]`
+    /// (SLO-met completions over all arrivals) and the peak per-replica
+    /// queue depth. Moves at most one rung, honoring the dwell, and
+    /// reports the transition if one happened.
+    pub fn observe_attainment(
+        &mut self,
+        attainment: f64,
+        peak_queue: usize,
+    ) -> Option<BrownoutTransition> {
+        if self.dwell > 0 {
+            self.dwell -= 1;
+            return None;
+        }
+        let queue_hot = self.cfg.queue_trigger.is_some_and(|q| peak_queue >= q);
+        let overloaded = attainment < self.cfg.enter_attainment || queue_hot;
+        let recovered = attainment >= self.cfg.exit_attainment && !queue_hot;
+        let next = if overloaded {
+            (self.level + 1).min(self.cfg.max_level)
+        } else if recovered {
+            self.level.saturating_sub(1)
+        } else {
+            self.level
+        };
+        if next == self.level {
+            return None;
+        }
+        let prev = self.level;
+        self.level = next;
+        self.dwell = self.cfg.dwell_windows;
+        Some(if prev == 0 {
+            BrownoutTransition::Entered(next)
+        } else if next == 0 {
+            BrownoutTransition::Exited
+        } else {
+            BrownoutTransition::Level(next)
+        })
+    }
+
+    /// The degraded exit-rate profile for the DP planner: level `L`
+    /// raises every interior survival fraction to the power
+    /// `1 + profile_boost * L`, modelling the loosened thresholds
+    /// pushing more of the batch out at each ramp. Entry 0 stays 1.0 and
+    /// monotonicity is preserved (powers of `[0, 1]` values are order
+    /// preserving), so the result is a valid [`BatchProfile`]. Level 0
+    /// returns the profile unchanged.
+    pub fn degrade_profile(&self, profile: &BatchProfile) -> BatchProfile {
+        if self.level == 0 {
+            return profile.clone();
+        }
+        let exp = 1.0 + self.cfg.profile_boost * self.level as f64;
+        let survival: Vec<f64> = profile
+            .survival()
+            .iter()
+            .enumerate()
+            .map(|(k, &s)| if k == 0 { 1.0 } else { s.powf(exp) })
+            .collect();
+        BatchProfile::new(survival)
+    }
+
+    /// The queue bound in force: the base cap, tightened from the
+    /// admission rung on.
+    pub fn queue_cap(&self, base: Option<usize>) -> Option<usize> {
+        let ladder = if self.level >= self.cfg.max_level {
+            Some(self.cfg.shed_queue_cap)
+        } else if self.cfg.max_level >= 2 && self.level >= self.cfg.max_level - 1 {
+            Some(self.cfg.admission_queue_cap)
+        } else {
+            None
+        };
+        match (base, ladder) {
+            (Some(b), Some(l)) => Some(b.min(l)),
+            (b, l) => l.or(b),
+        }
+    }
+
+    /// How sheds under the current rung should be attributed: once the
+    /// ladder has tightened the queue bound, losses are the controller's
+    /// doing, not organic overload.
+    pub fn shed_cause(&self) -> ShedCause {
+        if self.queue_cap(None).is_some() {
+            ShedCause::Brownout
+        } else {
+            ShedCause::QueueCap
+        }
+    }
+
+    /// Degrades one frozen policy by the current rung: entropy bounds
+    /// loosen multiplicatively, confidence/learned-gate bounds drop by
+    /// the same factor, patience/quorum counts shrink — every variant
+    /// moves toward shallower exits as the level rises.
+    fn degrade(&self, policy: ExitPolicy) -> ExitPolicy {
+        if self.level == 0 {
+            return policy;
+        }
+        let f = self.cfg.threshold_step.powi(self.level as i32);
+        match policy {
+            ExitPolicy::Entropy { threshold } => ExitPolicy::Entropy {
+                threshold: (threshold * f).min(0.95),
+            },
+            ExitPolicy::Confidence { threshold } => ExitPolicy::Confidence {
+                threshold: (threshold / f).max(0.05),
+            },
+            ExitPolicy::Learned { threshold } => ExitPolicy::Learned {
+                threshold: (threshold / f).max(0.05),
+            },
+            ExitPolicy::Patience { patience } => ExitPolicy::Patience {
+                patience: patience.saturating_sub(self.level as usize).max(1),
+            },
+            ExitPolicy::Voting { quorum } => ExitPolicy::Voting {
+                quorum: quorum.saturating_sub(self.level as usize).max(1),
+            },
+        }
+    }
+}
+
+impl<P: AdaptiveExitPolicy> AdaptiveExitPolicy for BrownoutController<P> {
+    fn policy(&self) -> ExitPolicy {
+        self.degrade(self.inner.policy())
+    }
+
+    fn observe_window(&mut self, exit_fraction: f64) {
+        self.inner.observe_window(exit_fraction);
+    }
+
+    fn label(&self) -> String {
+        format!("brownout(L{})+{}", self.level, self.inner.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FixedExitPolicy;
+
+    fn ctrl() -> BrownoutController<FixedExitPolicy> {
+        BrownoutController::new(
+            FixedExitPolicy::new(ExitPolicy::Entropy { threshold: 0.4 }),
+            BrownoutConfig {
+                dwell_windows: 0,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn ladder_escalates_and_recovers_with_hysteresis() {
+        let mut b = ctrl();
+        assert_eq!(b.level(), 0);
+        assert_eq!(
+            b.observe_attainment(0.5, 0),
+            Some(BrownoutTransition::Entered(1))
+        );
+        assert_eq!(
+            b.observe_attainment(0.5, 0),
+            Some(BrownoutTransition::Level(2))
+        );
+        assert_eq!(
+            b.observe_attainment(0.5, 0),
+            Some(BrownoutTransition::Level(3))
+        );
+        // Saturates at the shed rung.
+        assert_eq!(b.observe_attainment(0.5, 0), None);
+        assert!(b.shedding());
+        // Attainment inside the hysteresis band holds the rung.
+        assert_eq!(b.observe_attainment(0.93, 0), None);
+        assert_eq!(b.level(), 3);
+        // Only clearing the exit bound de-escalates, one rung at a time.
+        assert_eq!(
+            b.observe_attainment(0.99, 0),
+            Some(BrownoutTransition::Level(2))
+        );
+        assert_eq!(
+            b.observe_attainment(0.99, 0),
+            Some(BrownoutTransition::Level(1))
+        );
+        assert_eq!(
+            b.observe_attainment(0.99, 0),
+            Some(BrownoutTransition::Exited)
+        );
+        assert_eq!(b.level(), 0);
+    }
+
+    #[test]
+    fn dwell_holds_the_rung_after_a_move() {
+        let mut b = BrownoutController::new(
+            FixedExitPolicy::new(ExitPolicy::Entropy { threshold: 0.4 }),
+            BrownoutConfig {
+                dwell_windows: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            b.observe_attainment(0.5, 0),
+            Some(BrownoutTransition::Entered(1))
+        );
+        assert_eq!(b.observe_attainment(0.5, 0), None);
+        assert_eq!(b.observe_attainment(0.5, 0), None);
+        assert_eq!(
+            b.observe_attainment(0.5, 0),
+            Some(BrownoutTransition::Level(2))
+        );
+    }
+
+    #[test]
+    fn queue_depth_is_a_leading_overload_signal() {
+        let mut b = BrownoutController::new(
+            FixedExitPolicy::new(ExitPolicy::Entropy { threshold: 0.4 }),
+            BrownoutConfig {
+                queue_trigger: Some(8),
+                dwell_windows: 0,
+                ..Default::default()
+            },
+        );
+        // Attainment still fine, but queues are growing: escalate.
+        assert_eq!(
+            b.observe_attainment(0.99, 9),
+            Some(BrownoutTransition::Entered(1))
+        );
+        // Still-hot queues keep escalating even at perfect attainment.
+        assert_eq!(
+            b.observe_attainment(0.99, 8),
+            Some(BrownoutTransition::Level(2))
+        );
+        // Queues drained and attainment healthy: step back down.
+        assert_eq!(
+            b.observe_attainment(0.99, 0),
+            Some(BrownoutTransition::Level(1))
+        );
+        assert_eq!(
+            b.observe_attainment(0.99, 0),
+            Some(BrownoutTransition::Exited)
+        );
+    }
+
+    #[test]
+    fn thresholds_loosen_monotonically_with_level() {
+        let mut b = ctrl();
+        let thr = |b: &BrownoutController<FixedExitPolicy>| match b.policy() {
+            ExitPolicy::Entropy { threshold } => threshold,
+            p => panic!("unexpected policy {p:?}"),
+        };
+        let t0 = thr(&b);
+        b.observe_attainment(0.5, 0);
+        let t1 = thr(&b);
+        b.observe_attainment(0.5, 0);
+        let t2 = thr(&b);
+        assert!(t0 < t1 && t1 < t2, "{t0} {t1} {t2}");
+        assert!(t2 <= 0.95);
+    }
+
+    #[test]
+    fn degraded_profiles_stay_valid_and_shallower() {
+        let mut b = ctrl();
+        let p = BatchProfile::new(vec![1.0, 0.8, 0.5, 0.3, 0.3]);
+        assert_eq!(b.degrade_profile(&p), p, "level 0 is the identity");
+        b.observe_attainment(0.5, 0);
+        b.observe_attainment(0.5, 0);
+        let d = b.degrade_profile(&p);
+        // Constructor re-checks the invariants; values strictly shrink.
+        for k in 1..=p.num_layers() {
+            assert!(d.survival_at(k) < p.survival_at(k), "layer {k}");
+        }
+        assert!(d.mean_depth_fraction() < p.mean_depth_fraction());
+    }
+
+    #[test]
+    fn queue_caps_follow_the_ladder() {
+        let mut b = ctrl();
+        assert_eq!(b.queue_cap(None), None);
+        assert_eq!(b.queue_cap(Some(16)), Some(16));
+        assert_eq!(b.shed_cause(), e3_runtime::ShedCause::QueueCap);
+        b.observe_attainment(0.5, 0); // L1: thresholds only
+        assert_eq!(b.queue_cap(Some(16)), Some(16));
+        b.observe_attainment(0.5, 0); // L2: admission tightening
+        assert_eq!(b.queue_cap(Some(16)), Some(2));
+        assert_eq!(b.queue_cap(None), Some(2));
+        assert_eq!(b.shed_cause(), e3_runtime::ShedCause::Brownout);
+        b.observe_attainment(0.5, 0); // L3: shed
+        assert_eq!(b.queue_cap(Some(16)), Some(1));
+        // A base cap tighter than the rung survives.
+        assert_eq!(b.queue_cap(Some(1)), Some(1));
+    }
+
+    #[test]
+    fn every_policy_variant_degrades_toward_shallower_exits() {
+        let mk = |p| {
+            let mut b = BrownoutController::new(
+                FixedExitPolicy::new(p),
+                BrownoutConfig {
+                    dwell_windows: 0,
+                    ..Default::default()
+                },
+            );
+            b.observe_attainment(0.5, 0);
+            b.policy()
+        };
+        assert!(matches!(
+            mk(ExitPolicy::Confidence { threshold: 0.5 }),
+            ExitPolicy::Confidence { threshold } if threshold < 0.5
+        ));
+        assert!(matches!(
+            mk(ExitPolicy::Learned { threshold: 0.5 }),
+            ExitPolicy::Learned { threshold } if threshold < 0.5
+        ));
+        assert!(matches!(
+            mk(ExitPolicy::Patience { patience: 3 }),
+            ExitPolicy::Patience { patience: 2 }
+        ));
+        assert!(matches!(
+            mk(ExitPolicy::Voting { quorum: 1 }),
+            ExitPolicy::Voting { quorum: 1 }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis band inverted")]
+    fn rejects_inverted_hysteresis() {
+        BrownoutController::new(
+            FixedExitPolicy::new(ExitPolicy::Entropy { threshold: 0.4 }),
+            BrownoutConfig {
+                enter_attainment: 0.98,
+                exit_attainment: 0.9,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -167,6 +167,7 @@ mod tests {
             transfer_aborts: 0,
             tokens_generated: 0,
             kv_preemptions: 0,
+            robustness: Default::default(),
         }
     }
 

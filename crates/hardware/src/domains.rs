@@ -1,0 +1,184 @@
+//! Fault-domain topology: which replicas fail *together*.
+//!
+//! Real clusters do not fail one device at a time. A rack loses its
+//! top-of-rack switch and every machine in it drops off the network; a
+//! PDU trips and four racks brown out at once. [`DomainTopology`]
+//! derives those correlated groupings from a [`ClusterSpec`]'s machine
+//! layout, deterministically: machines are grouped into racks in id
+//! order, racks pair up under shared switches, and switches pair up
+//! under shared PDUs. Each [`FaultDomain`] carries both its machine set
+//! and the dense GPU ids inside it, which is what the fault injector
+//! needs — for a data-parallel stage replicated over the whole cluster,
+//! GPU id *is* the kernel's replica id.
+
+use crate::cluster::ClusterSpec;
+
+/// The infrastructure layer a correlated failure lives at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDomainKind {
+    /// One rack: a group of adjacent machines behind one top-of-rack
+    /// switch and one power feed.
+    Rack,
+    /// One aggregation switch serving a pair of adjacent racks.
+    Switch,
+    /// One power distribution unit feeding a pair of adjacent switches
+    /// (four racks).
+    Pdu,
+}
+
+/// One correlated failure domain: a set of machines (and the GPUs they
+/// host) that an infrastructure fault takes out together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultDomain {
+    /// The layer this domain lives at.
+    pub kind: FaultDomainKind,
+    /// Dense index among domains of the same kind.
+    pub index: usize,
+    /// Machine indices in this domain.
+    pub machines: Vec<usize>,
+    /// Cluster GPU ids hosted by those machines, id-ordered.
+    pub gpus: Vec<usize>,
+}
+
+impl FaultDomain {
+    /// Number of GPUs (= data-parallel replicas) the domain covers.
+    pub fn num_gpus(&self) -> usize {
+        self.gpus.len()
+    }
+}
+
+/// The full rack/switch/PDU grouping of one cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainTopology {
+    racks: Vec<FaultDomain>,
+    switches: Vec<FaultDomain>,
+    pdus: Vec<FaultDomain>,
+}
+
+impl DomainTopology {
+    /// Derives the topology from `cluster`: consecutive machines fill
+    /// racks of `machines_per_rack`, consecutive rack pairs share a
+    /// switch, consecutive switch pairs share a PDU. Deterministic —
+    /// equal clusters always produce equal topologies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines_per_rack == 0`.
+    pub fn derive(cluster: &ClusterSpec, machines_per_rack: usize) -> Self {
+        assert!(
+            machines_per_rack > 0,
+            "a rack must hold at least one machine"
+        );
+        let num_machines = cluster.machines().len();
+        let rack_of = |m: usize| m / machines_per_rack;
+        let num_racks = num_machines.div_ceil(machines_per_rack);
+
+        let group = |kind: FaultDomainKind, index: usize, member: &dyn Fn(usize) -> bool| {
+            let machines: Vec<usize> = (0..num_machines).filter(|&m| member(m)).collect();
+            let gpus = cluster
+                .gpus()
+                .iter()
+                .filter(|g| machines.contains(&g.machine))
+                .map(|g| g.id)
+                .collect();
+            FaultDomain {
+                kind,
+                index,
+                machines,
+                gpus,
+            }
+        };
+
+        let racks: Vec<FaultDomain> = (0..num_racks)
+            .map(|r| group(FaultDomainKind::Rack, r, &|m| rack_of(m) == r))
+            .collect();
+        let switches: Vec<FaultDomain> = (0..num_racks.div_ceil(2))
+            .map(|s| group(FaultDomainKind::Switch, s, &|m| rack_of(m) / 2 == s))
+            .collect();
+        let pdus: Vec<FaultDomain> = (0..num_racks.div_ceil(4))
+            .map(|p| group(FaultDomainKind::Pdu, p, &|m| rack_of(m) / 4 == p))
+            .collect();
+        DomainTopology {
+            racks,
+            switches,
+            pdus,
+        }
+    }
+
+    /// Domains of one kind, index-ordered.
+    pub fn domains(&self, kind: FaultDomainKind) -> &[FaultDomain] {
+        match kind {
+            FaultDomainKind::Rack => &self.racks,
+            FaultDomainKind::Switch => &self.switches,
+            FaultDomainKind::Pdu => &self.pdus,
+        }
+    }
+
+    /// All racks.
+    pub fn racks(&self) -> &[FaultDomain] {
+        &self.racks
+    }
+
+    /// All switches.
+    pub fn switches(&self) -> &[FaultDomain] {
+        &self.switches
+    }
+
+    /// All PDUs.
+    pub fn pdus(&self) -> &[FaultDomain] {
+        &self.pdus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuKind;
+
+    #[test]
+    fn racks_partition_machines_and_gpus() {
+        // 6 V100s, 2 per machine -> 3 machines; racks of 2 machines.
+        let c = ClusterSpec::homogeneous(GpuKind::V100, 6, 2);
+        let t = DomainTopology::derive(&c, 2);
+        assert_eq!(t.racks().len(), 2);
+        assert_eq!(t.racks()[0].machines, vec![0, 1]);
+        assert_eq!(t.racks()[0].gpus, vec![0, 1, 2, 3]);
+        assert_eq!(t.racks()[1].machines, vec![2]);
+        assert_eq!(t.racks()[1].gpus, vec![4, 5]);
+        // Every GPU appears in exactly one rack.
+        let mut all: Vec<usize> = t.racks().iter().flat_map(|r| r.gpus.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn switches_and_pdus_aggregate_racks() {
+        // 16 GPUs, 2/machine -> 8 machines; racks of 2 -> 4 racks,
+        // 2 switches, 1 PDU covering everything.
+        let c = ClusterSpec::paper_homogeneous_v100();
+        let t = DomainTopology::derive(&c, 2);
+        assert_eq!(t.racks().len(), 4);
+        assert_eq!(t.switches().len(), 2);
+        assert_eq!(t.pdus().len(), 1);
+        assert_eq!(t.switches()[0].num_gpus(), 8);
+        assert_eq!(t.pdus()[0].num_gpus(), 16);
+        assert_eq!(t.domains(FaultDomainKind::Switch).len(), 2);
+        // A switch covers exactly its two racks' GPUs.
+        let mut expect = t.racks()[0].gpus.clone();
+        expect.extend(&t.racks()[1].gpus);
+        assert_eq!(t.switches()[0].gpus, expect);
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let c = ClusterSpec::paper_heterogeneous();
+        assert_eq!(DomainTopology::derive(&c, 3), DomainTopology::derive(&c, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_per_rack_rejected() {
+        let c = ClusterSpec::homogeneous(GpuKind::V100, 2, 2);
+        let _ = DomainTopology::derive(&c, 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Deterministic phi-accrual-style replica health estimation.
+//!
+//! The straggler watchdog reads each replica's *self-reported* service
+//! statistics, which a gray failure (see
+//! `e3_runtime::kernel::faults::FaultEvent::GrayDegradation`) leaves
+//! clean. [`HealthEstimator`] instead watches what cannot be faked: the
+//! wall-clock per-sample time of every completed batch, pooled across
+//! replicas. Each replica keeps an EWMA of its own observations; the
+//! pool keeps a running mean/variance (Welford) over everyone's. The
+//! suspicion level of a replica is a phi-accrual-style score
+//!
+//! ```text
+//! phi(r) = -log10( Q(z) ),   z = (ewma_r - pooled_mean) / pooled_std
+//! ```
+//!
+//! where `Q` is the standard normal survival function — phi 2 means
+//! "if this replica were healthy, an EWMA this slow would happen with
+//! probability 10⁻²". The estimator is pure arithmetic over the
+//! observations it is fed: same inputs, same phi, bit for bit. It
+//! feeds the kernel's per-replica circuit breakers.
+
+/// Tuning knobs of the health estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// Weight of a new observation in the per-replica EWMA.
+    pub ewma_alpha: f64,
+    /// Observations a replica needs before its phi is meaningful;
+    /// below this, [`HealthEstimator::phi`] reports 0.
+    pub min_observations: u64,
+    /// Floor on the pooled standard deviation, as a fraction of the
+    /// pooled mean — keeps phi finite when healthy replicas report
+    /// (deterministically) identical times.
+    pub std_floor_frac: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            ewma_alpha: 0.3,
+            min_observations: 6,
+            std_floor_frac: 0.05,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ReplicaHealth {
+    n: u64,
+    ewma: f64,
+}
+
+/// Pooled per-replica wall-clock health scores (see module docs).
+#[derive(Debug, Clone)]
+pub struct HealthEstimator {
+    cfg: HealthConfig,
+    per: Vec<ReplicaHealth>,
+    pooled_n: u64,
+    pooled_mean: f64,
+    pooled_m2: f64,
+}
+
+/// phi is capped here: Q(z) underflows long before, and an infinite
+/// score carries no more information than "trip now".
+const PHI_CAP: f64 = 100.0;
+
+impl HealthEstimator {
+    /// An estimator over `num_replicas` replicas.
+    pub fn new(num_replicas: usize, cfg: HealthConfig) -> Self {
+        HealthEstimator {
+            cfg,
+            per: vec![ReplicaHealth::default(); num_replicas],
+            pooled_n: 0,
+            pooled_mean: 0.0,
+            pooled_m2: 0.0,
+        }
+    }
+
+    /// Feeds one completed batch's wall-clock per-sample seconds on
+    /// `replica`. Non-finite or non-positive observations are ignored.
+    pub fn observe(&mut self, replica: usize, per_sample_secs: f64) {
+        if !per_sample_secs.is_finite() || per_sample_secs <= 0.0 {
+            return;
+        }
+        let r = &mut self.per[replica];
+        r.ewma = if r.n == 0 {
+            per_sample_secs
+        } else {
+            self.cfg.ewma_alpha * per_sample_secs + (1.0 - self.cfg.ewma_alpha) * r.ewma
+        };
+        r.n += 1;
+        self.pooled_n += 1;
+        let delta = per_sample_secs - self.pooled_mean;
+        self.pooled_mean += delta / self.pooled_n as f64;
+        self.pooled_m2 += delta * (per_sample_secs - self.pooled_mean);
+    }
+
+    /// Observations seen from `replica` since its last reset.
+    pub fn observations(&self, replica: usize) -> u64 {
+        self.per[replica].n
+    }
+
+    /// The replica's current EWMA of per-sample seconds (0 before any
+    /// observation).
+    pub fn ewma(&self, replica: usize) -> f64 {
+        self.per[replica].ewma
+    }
+
+    /// The phi-accrual suspicion score of `replica`: 0 while warming up
+    /// or at/below the pooled mean, rising with how implausibly slow
+    /// the replica's EWMA is against the pool, capped at 100.
+    pub fn phi(&self, replica: usize) -> f64 {
+        self.phi_with_min(replica, self.cfg.min_observations)
+    }
+
+    /// [`HealthEstimator::phi`] without the warmup floor: judges the
+    /// replica on however few observations it has. Circuit breakers use
+    /// this in the half-open probe phase — [`HealthEstimator::reset`]
+    /// cleared the replica's history, and a probe verdict cannot wait
+    /// out a full warmup.
+    pub fn phi_unwarmed(&self, replica: usize) -> f64 {
+        self.phi_with_min(replica, 1)
+    }
+
+    fn phi_with_min(&self, replica: usize, min_observations: u64) -> f64 {
+        let r = &self.per[replica];
+        if r.n < min_observations || self.pooled_n < 2 {
+            return 0.0;
+        }
+        let var = self.pooled_m2 / (self.pooled_n - 1) as f64;
+        let floor = self.cfg.std_floor_frac * self.pooled_mean;
+        let std = var.sqrt().max(floor).max(f64::MIN_POSITIVE);
+        let z = (r.ewma - self.pooled_mean) / std;
+        if z <= 0.0 {
+            return 0.0;
+        }
+        let q = 0.5 * erfc(z / std::f64::consts::SQRT_2);
+        if q <= 0.0 {
+            PHI_CAP
+        } else {
+            (-q.log10()).min(PHI_CAP)
+        }
+    }
+
+    /// Forgets `replica`'s history (recovery, or a breaker entering its
+    /// probe phase) so it is judged afresh. Pooled statistics keep the
+    /// fleet-wide baseline.
+    pub fn reset(&mut self, replica: usize) {
+        self.per[replica] = ReplicaHealth::default();
+    }
+}
+
+/// Complementary error function for x >= 0 (Abramowitz & Stegun
+/// 7.1.26, max absolute error 1.5e-7) — deterministic, no libm.
+fn erfc(x: f64) -> f64 {
+    debug_assert!(x >= 0.0);
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    poly * (-x * x).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_healthy(h: &mut HealthEstimator, replicas: usize, rounds: usize) {
+        for round in 0..rounds {
+            for r in 0..replicas {
+                // Legitimate spread: per-sample time varies a little
+                // with (deterministic) batch composition.
+                let jitter = 1.0 + 0.02 * ((round + r) % 3) as f64;
+                h.observe(r, 0.010 * jitter);
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_fleet_stays_unsuspicious() {
+        let mut h = HealthEstimator::new(4, HealthConfig::default());
+        feed_healthy(&mut h, 4, 20);
+        for r in 0..4 {
+            assert!(h.phi(r) < 1.0, "replica {r}: phi {}", h.phi(r));
+        }
+    }
+
+    #[test]
+    fn gray_slow_replica_crosses_the_threshold() {
+        let mut h = HealthEstimator::new(4, HealthConfig::default());
+        feed_healthy(&mut h, 4, 10);
+        // Replica 3 silently degrades to 2x.
+        for _ in 0..10 {
+            for r in 0..3 {
+                h.observe(r, 0.010);
+            }
+            h.observe(3, 0.020);
+        }
+        assert!(h.phi(3) > 2.0, "phi {}", h.phi(3));
+        assert!(h.phi(0) < 1.0);
+    }
+
+    #[test]
+    fn warmup_and_reset_report_zero() {
+        let mut h = HealthEstimator::new(2, HealthConfig::default());
+        for _ in 0..3 {
+            h.observe(0, 0.010);
+            h.observe(1, 0.050);
+        }
+        // Below min_observations: no verdict even for the slow one.
+        assert_eq!(h.phi(1), 0.0);
+        feed_healthy(&mut h, 1, 10);
+        for _ in 0..10 {
+            h.observe(1, 0.050);
+        }
+        assert!(h.phi(1) > 0.0);
+        h.reset(1);
+        assert_eq!(h.observations(1), 0);
+        assert_eq!(h.phi(1), 0.0);
+    }
+
+    #[test]
+    fn identical_observations_do_not_divide_by_zero() {
+        let mut h = HealthEstimator::new(3, HealthConfig::default());
+        for _ in 0..20 {
+            for r in 0..3 {
+                h.observe(r, 0.010);
+            }
+        }
+        for r in 0..3 {
+            let phi = h.phi(r);
+            assert!(phi.is_finite());
+            assert_eq!(phi, 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_and_ignores_junk() {
+        let run = || {
+            let mut h = HealthEstimator::new(2, HealthConfig::default());
+            feed_healthy(&mut h, 2, 15);
+            h.observe(0, f64::NAN);
+            h.observe(0, -1.0);
+            h.observe(0, 0.0);
+            (h.phi(0), h.phi(1), h.observations(0))
+        };
+        assert_eq!(run(), run());
+        // Junk observations were dropped: both replicas saw 15.
+        assert_eq!(run().2, 15);
+    }
+
+    #[test]
+    fn phi_unwarmed_judges_before_the_warmup_floor() {
+        let mut h = HealthEstimator::new(4, HealthConfig::default());
+        feed_healthy(&mut h, 3, 20);
+        // Replica 3 starts fresh (as after a breaker probe reset) and
+        // reports grossly slow times: phi() still withholds a verdict,
+        // phi_unwarmed() does not.
+        h.observe(3, 0.040);
+        h.observe(3, 0.040);
+        assert_eq!(h.phi(3), 0.0);
+        assert!(h.phi_unwarmed(3) > 2.0, "phi {}", h.phi_unwarmed(3));
+        // A fresh-but-healthy replica stays unsuspicious either way.
+        h.reset(3);
+        h.observe(3, 0.010);
+        assert!(h.phi_unwarmed(3) < 1.0);
+    }
+
+    #[test]
+    fn erfc_matches_known_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 2e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 2e-7);
+        assert!((erfc(2.0) - 0.004_677_735).abs() < 2e-7);
+    }
+}

@@ -8,7 +8,7 @@
 use e3_simcore::metrics::{DurationHistogram, UtilizationTracker};
 use e3_simcore::{SimDuration, SimTime};
 
-use crate::report::{ExitEvent, RunReport};
+use crate::report::{ExitEvent, RobustnessStats, RunReport, ShedCause};
 use crate::sample::SimSample;
 
 /// Accumulates the metrics of one serving run; [`RunAccumulator::finish`]
@@ -41,6 +41,7 @@ pub struct RunAccumulator {
     degraded_within_slo: u64,
     tokens_generated: u64,
     kv_preemptions: u64,
+    robustness: RobustnessStats,
 }
 
 impl RunAccumulator {
@@ -81,6 +82,7 @@ impl RunAccumulator {
             degraded_within_slo: 0,
             tokens_generated: 0,
             kv_preemptions: 0,
+            robustness: RobustnessStats::default(),
         }
     }
 
@@ -98,6 +100,7 @@ impl RunAccumulator {
     /// Records one admission drop.
     pub fn record_drop(&mut self) {
         self.dropped += 1;
+        self.robustness.sheds.admission += 1;
     }
 
     /// Updates the running queue-depth peak for `stage`.
@@ -116,10 +119,14 @@ impl RunAccumulator {
     }
 
     /// Records `n` samples shed at routing time by the per-replica queue
-    /// bound. Shed samples also count as drops.
-    pub fn record_shed(&mut self, n: usize) {
+    /// bound, attributed to `cause`. Shed samples also count as drops.
+    pub fn record_shed(&mut self, n: usize, cause: ShedCause) {
         self.shed += n as u64;
         self.dropped += n as u64;
+        match cause {
+            ShedCause::QueueCap => self.robustness.sheds.queue_cap += n as u64,
+            ShedCause::Brownout => self.robustness.sheds.brownout += n as u64,
+        }
     }
 
     /// Records one transfer retry scheduled while a link was down.
@@ -128,10 +135,46 @@ impl RunAccumulator {
     }
 
     /// Records a transfer abort that dropped `n` samples after the retry
-    /// budget ran out.
-    pub fn record_transfer_abort(&mut self, n: usize) {
+    /// budget ran out. `budget_exhausted` marks aborts forced by the
+    /// per-run retry budget rather than the transfer's own attempt
+    /// limit.
+    pub fn record_transfer_abort(&mut self, n: usize, budget_exhausted: bool) {
         self.transfer_aborts += 1;
         self.dropped += n as u64;
+        self.robustness.sheds.transfer_abort += n as u64;
+        if budget_exhausted {
+            self.robustness.retry_budget_exhausted += 1;
+        }
+    }
+
+    /// Records a straggling batch re-dispatched to a healthy peer.
+    pub fn record_hedge_dispatch(&mut self) {
+        self.robustness.hedges_dispatched += 1;
+    }
+
+    /// Records a hedged pair resolved by one copy finishing first.
+    pub fn record_hedge_win(&mut self) {
+        self.robustness.hedges_won += 1;
+    }
+
+    /// Records a hedge copy cancelled (pair resolution or crash).
+    pub fn record_hedge_cancel(&mut self) {
+        self.robustness.hedges_cancelled += 1;
+    }
+
+    /// Records a circuit-breaker trip.
+    pub fn record_breaker_trip(&mut self) {
+        self.robustness.breaker_trips += 1;
+    }
+
+    /// Records a breaker entering its half-open probe phase.
+    pub fn record_breaker_probe(&mut self) {
+        self.robustness.breaker_probes += 1;
+    }
+
+    /// Records a breaker closing after a clean probe phase.
+    pub fn record_breaker_close(&mut self) {
+        self.robustness.breaker_closes += 1;
     }
 
     /// Records a replica flagged as a straggler.
@@ -266,6 +309,7 @@ impl RunAccumulator {
             transfer_aborts: self.transfer_aborts,
             tokens_generated: self.tokens_generated,
             kv_preemptions: self.kv_preemptions,
+            robustness: self.robustness,
         }
     }
 }
@@ -333,6 +377,39 @@ mod tests {
         assert_eq!(r.degraded_within_slo, 1);
         assert!((r.replica_availability[0] - 0.75).abs() < 1e-12);
         assert!((r.replica_availability[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sheds_by_cause_partition_the_drops() {
+        let mut acc = RunAccumulator::new(1, 2, SimDuration::from_millis(20), false);
+        acc.record_shed(4, ShedCause::QueueCap);
+        acc.record_shed(3, ShedCause::Brownout);
+        acc.record_drop(); // admission rejection
+        acc.record_transfer_abort(2, false);
+        acc.record_transfer_abort(5, true);
+        acc.record_hedge_dispatch();
+        acc.record_hedge_win();
+        acc.record_hedge_cancel();
+        acc.record_breaker_trip();
+        acc.record_breaker_probe();
+        acc.record_breaker_close();
+        let r = acc.finish(SimDuration::from_secs(1));
+        assert_eq!(r.robustness.sheds.queue_cap, 4);
+        assert_eq!(r.robustness.sheds.brownout, 3);
+        assert_eq!(r.robustness.sheds.admission, 1);
+        assert_eq!(r.robustness.sheds.transfer_abort, 7);
+        // The breakdown partitions `dropped` exactly.
+        assert_eq!(r.robustness.sheds.total(), r.dropped);
+        // Legacy aggregates keep their meaning.
+        assert_eq!(r.shed, 7);
+        assert_eq!(r.transfer_aborts, 2);
+        assert_eq!(r.robustness.retry_budget_exhausted, 1);
+        assert_eq!(r.robustness.hedges_dispatched, 1);
+        assert_eq!(r.robustness.hedges_won, 1);
+        assert_eq!(r.robustness.hedges_cancelled, 1);
+        assert_eq!(r.robustness.breaker_trips, 1);
+        assert_eq!(r.robustness.breaker_probes, 1);
+        assert_eq!(r.robustness.breaker_closes, 1);
     }
 
     #[test]

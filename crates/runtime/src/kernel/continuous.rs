@@ -1131,6 +1131,23 @@ impl Driver<'_, '_> {
                 self.link_down = true;
                 self.q.schedule(until, CEv::Fault(FaultAction::ExpireLink));
             }
+            FaultEvent::GrayDegradation {
+                replica,
+                factor,
+                until,
+                ..
+            } => {
+                self.acc.record_fault();
+                self.emit(KernelEvent::FaultInjected { fault: ev });
+                // This driver keeps no self-reported service statistics
+                // to fool, so a gray degradation degenerates to a
+                // transient slowdown of the same window.
+                self.reps[replica].transient.push(factor);
+                self.q.schedule(
+                    until,
+                    CEv::Fault(FaultAction::ExpireSlowdown { replica, factor }),
+                );
+            }
         }
     }
 

@@ -23,8 +23,20 @@
 //! * [`FaultEvent::LinkDown`] — the interconnect out of a stage drops
 //!   transfers over a time window; the kernel retries them with
 //!   exponential backoff and aborts (dropping the samples) when the
-//!   retry budget runs out.
+//!   retry budget runs out;
+//! * [`FaultEvent::GrayDegradation`] — a partial slowdown the replica
+//!   does not *report*: execution genuinely takes longer, but the
+//!   replica's self-reported service statistics (what the straggler
+//!   watchdog reads) stay clean. Only an external wall-clock health
+//!   estimator can catch it.
+//!
+//! Faults need not be independent: the `*_domain` builders expand one
+//! infrastructure event over an [`e3_hardware::FaultDomain`] (a rack,
+//! switch, or PDU grouping from [`e3_hardware::DomainTopology`]) into
+//! per-replica events, so a single injected failure takes out a
+//! correlated replica set.
 
+use e3_hardware::FaultDomain;
 use e3_simcore::SimTime;
 
 /// One scheduled fault.
@@ -83,6 +95,21 @@ pub enum FaultEvent {
         /// Outage end.
         until: SimTime,
     },
+    /// Replica `replica` silently runs `factor` times slower between
+    /// `from` and `until`. Unlike [`FaultEvent::TransientSlowdown`],
+    /// the replica's self-reported per-sample service statistics are
+    /// *not* inflated — the straggler watchdog sees a healthy replica
+    /// while wall-clock completions drift late (a gray failure).
+    GrayDegradation {
+        /// Global replica id.
+        replica: usize,
+        /// Multiplicative wall-clock factor (> 1 slows the replica).
+        factor: f64,
+        /// Degradation onset.
+        from: SimTime,
+        /// Degradation end.
+        until: SimTime,
+    },
 }
 
 impl FaultEvent {
@@ -91,7 +118,8 @@ impl FaultEvent {
         match self {
             FaultEvent::ReplicaCrash { replica, .. }
             | FaultEvent::TransientSlowdown { replica, .. }
-            | FaultEvent::DelayedRecovery { replica, .. } => Some(*replica),
+            | FaultEvent::DelayedRecovery { replica, .. }
+            | FaultEvent::GrayDegradation { replica, .. } => Some(*replica),
             FaultEvent::StageStall { .. } | FaultEvent::LinkDown { .. } => None,
         }
     }
@@ -111,7 +139,8 @@ impl FaultEvent {
             FaultEvent::ReplicaCrash { at, .. } | FaultEvent::DelayedRecovery { at, .. } => *at,
             FaultEvent::TransientSlowdown { from, .. }
             | FaultEvent::StageStall { from, .. }
-            | FaultEvent::LinkDown { from, .. } => *from,
+            | FaultEvent::LinkDown { from, .. }
+            | FaultEvent::GrayDegradation { from, .. } => *from,
         }
     }
 }
@@ -180,6 +209,77 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a watchdog-invisible `factor`× gray degradation of
+    /// `replica` over `[from, until)`.
+    pub fn gray(mut self, replica: usize, factor: f64, from: SimTime, until: SimTime) -> Self {
+        self.events.push(FaultEvent::GrayDegradation {
+            replica,
+            factor,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Schedules a correlated crash of every replica in `domain` at
+    /// `at` — one rack/switch/PDU event, many simultaneous crashes.
+    pub fn crash_domain(mut self, domain: &FaultDomain, at: SimTime) -> Self {
+        for &replica in &domain.gpus {
+            self.events.push(FaultEvent::ReplicaCrash { replica, at });
+        }
+        self
+    }
+
+    /// Schedules a correlated recovery of every replica in `domain` at
+    /// `at`.
+    pub fn recover_domain(mut self, domain: &FaultDomain, at: SimTime) -> Self {
+        for &replica in &domain.gpus {
+            self.events
+                .push(FaultEvent::DelayedRecovery { replica, at });
+        }
+        self
+    }
+
+    /// Schedules a correlated `factor`× slowdown of every replica in
+    /// `domain` over `[from, until)`.
+    pub fn slowdown_domain(
+        mut self,
+        domain: &FaultDomain,
+        factor: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        for &replica in &domain.gpus {
+            self.events.push(FaultEvent::TransientSlowdown {
+                replica,
+                factor,
+                from,
+                until,
+            });
+        }
+        self
+    }
+
+    /// Schedules a correlated gray degradation of every replica in
+    /// `domain` over `[from, until)`.
+    pub fn gray_domain(
+        mut self,
+        domain: &FaultDomain,
+        factor: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        for &replica in &domain.gpus {
+            self.events.push(FaultEvent::GrayDegradation {
+                replica,
+                factor,
+                from,
+                until,
+            });
+        }
+        self
+    }
+
     /// The scheduled events, in insertion order.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -242,6 +342,12 @@ impl FaultPlan {
                     from,
                     until,
                     ..
+                }
+                | FaultEvent::GrayDegradation {
+                    factor,
+                    from,
+                    until,
+                    ..
                 } => {
                     assert!(*factor > 0.0, "slowdown factor must be positive");
                     assert!(until >= from, "slowdown window ends before it starts");
@@ -273,6 +379,8 @@ pub enum ExclusionReason {
     Straggler,
     /// An injected [`FaultEvent::ReplicaCrash`].
     Crash,
+    /// The replica's circuit breaker opened (health-estimator trip).
+    Breaker,
 }
 
 #[cfg(test)]
@@ -352,5 +460,50 @@ mod tests {
     #[should_panic(expected = "no outbound link")]
     fn validate_rejects_link_down_on_last_stage() {
         FaultPlan::new().link_down(1, ms(1), ms(2)).validate(4, 2);
+    }
+
+    #[test]
+    fn gray_degradation_is_replica_scoped_and_validated() {
+        let plan = FaultPlan::new().gray(2, 1.8, ms(5), ms(50));
+        assert_eq!(plan.events()[0].replica(), Some(2));
+        assert_eq!(plan.events()[0].starts_at(), ms(5));
+        plan.validate(3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be positive")]
+    fn validate_rejects_nonpositive_gray_factor() {
+        FaultPlan::new().gray(0, 0.0, ms(1), ms(2)).validate(1, 1);
+    }
+
+    #[test]
+    fn domain_builders_expand_to_correlated_replica_sets() {
+        use e3_hardware::{ClusterSpec, DomainTopology, GpuKind};
+        // 6 GPUs / 3 machines; racks of 2 machines -> rack 0 = GPUs 0..4.
+        let c = ClusterSpec::homogeneous(GpuKind::V100, 6, 2);
+        let t = DomainTopology::derive(&c, 2);
+        let rack0 = &t.racks()[0];
+        let plan = FaultPlan::new()
+            .crash_domain(rack0, ms(10))
+            .recover_domain(rack0, ms(100));
+        assert_eq!(plan.len(), 2 * rack0.num_gpus());
+        // All crashes land at the same instant on the rack's replicas.
+        let crashed: Vec<usize> = plan
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::ReplicaCrash { replica, at } if *at == ms(10) => Some(*replica),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashed, rack0.gpus);
+        assert!(plan.permanently_crashed().is_empty());
+        plan.validate(6, 1);
+        // Correlated slow + gray expand the same way.
+        let slow = FaultPlan::new()
+            .slowdown_domain(rack0, 2.0, ms(1), ms(9))
+            .gray_domain(rack0, 1.5, ms(1), ms(9));
+        assert_eq!(slow.len(), 2 * rack0.num_gpus());
+        slow.validate(6, 1);
     }
 }

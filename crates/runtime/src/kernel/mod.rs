@@ -45,6 +45,7 @@ pub use policy::{
 use std::collections::VecDeque;
 
 use e3_hardware::GpuKind;
+use e3_profiler::HealthEstimator;
 use e3_simcore::{EventQueue, SimQueue, SimTime};
 
 use crate::batch::Batch;
@@ -86,6 +87,19 @@ pub(crate) enum Ev {
         batch: Batch,
         attempt: u32,
     },
+    /// An open circuit breaker's cooldown elapsed: enter the half-open
+    /// probe phase (if still open).
+    BreakerCooldown {
+        replica: usize,
+    },
+    /// Check whether the batch `replica` started at `epoch` is still
+    /// running past its expected service time; hedge it if so. Stale
+    /// once the replica's epoch moves (completion, crash, or hedge
+    /// cancellation).
+    HedgeCheck {
+        replica: usize,
+        epoch: u32,
+    },
 }
 
 /// A fault-plan entry materialized on the event queue. `Apply` fires at a
@@ -96,6 +110,21 @@ pub(crate) enum FaultAction {
     ExpireSlowdown { replica: usize, factor: f64 },
     ExpireStall { stage: usize },
     ExpireLink { from_stage: usize },
+    ExpireGray { replica: usize, factor: f64 },
+}
+
+/// State of a replica's circuit breaker (inert unless
+/// [`crate::engine::ServingConfig::breaker`] is set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Normal operation; the health estimator is watched after every
+    /// batch.
+    Closed,
+    /// Tripped: the replica is excluded until the cooldown elapses.
+    Open,
+    /// Probing: back in service with fresh health history; closes after
+    /// `probes_left` more clean batches, re-trips on a slow probe.
+    HalfOpen { probes_left: u32 },
 }
 
 struct Replica {
@@ -109,12 +138,25 @@ struct Replica {
     /// True while crashed: unlike a straggler (which may finish queued
     /// work), a crashed replica executes nothing until recovered.
     crashed: bool,
-    /// Bumped on crash so a pending `ExecDone` for the lost batch is
-    /// recognized as stale and ignored.
+    /// Bumped whenever the current execution (if any) becomes invalid or
+    /// finishes — per completed batch, on crash, and on hedge
+    /// cancellation — so a pending `ExecDone` or `HedgeCheck` for a
+    /// superseded execution is recognized as stale and ignored.
     epoch: u32,
     /// Multiplicative factors of the transient slowdowns currently in
     /// effect (empty almost always; faults only).
     transient: Vec<f64>,
+    /// Multiplicative wall-clock factors of active gray degradations:
+    /// they stretch real execution time but are *not* reflected in the
+    /// self-reported service statistics below.
+    gray: Vec<f64>,
+    /// When the current execution began (wall-clock health accounting).
+    exec_started: SimTime,
+    /// Circuit-breaker state (always `Closed` when breakers are off).
+    breaker: BreakerState,
+    /// The stage peer running the other copy of this replica's hedged
+    /// batch, while a hedge pair is in flight. Symmetric.
+    hedge_partner: Option<usize>,
     batches_done: u32,
     per_sample_secs_sum: f64,
 }
@@ -160,6 +202,13 @@ pub(crate) struct Kernel<'a, 'p, Q: SimQueue<Ev> = EventQueue<Ev>> {
     sample_pool: Vec<Vec<SimSample>>,
     /// Reused scratch for straggler peer comparisons.
     perf_scratch: Vec<ReplicaPerf>,
+    /// Wall-clock health estimator feeding the circuit breakers; `None`
+    /// (and zero-cost) unless [`crate::engine::ServingConfig::breaker`]
+    /// is set.
+    health: Option<HealthEstimator>,
+    /// Remaining per-run transfer-retry tokens; `None` = unbounded
+    /// (per-transfer attempt limits still apply).
+    retry_tokens: Option<u32>,
 }
 
 impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
@@ -192,6 +241,10 @@ impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
                     crashed: false,
                     epoch: 0,
                     transient: Vec::new(),
+                    gray: Vec::new(),
+                    exec_started: SimTime::ZERO,
+                    breaker: BreakerState::Closed,
+                    hedge_partner: None,
                     batches_done: 0,
                     per_sample_secs_sum: 0.0,
                 });
@@ -225,6 +278,11 @@ impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
             ),
             sample_pool: Vec::new(),
             perf_scratch: Vec::new(),
+            health: sim
+                .cfg
+                .breaker
+                .map(|b| HealthEstimator::new(num_replicas, b.health)),
+            retry_tokens: sim.cfg.retry_budget,
         }
     }
 
@@ -280,6 +338,8 @@ impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
                     batch,
                     attempt,
                 } => self.on_transfer_retry(from_stage, batch, attempt),
+                Ev::BreakerCooldown { replica } => self.on_breaker_cooldown(replica),
+                Ev::HedgeCheck { replica, epoch } => self.on_hedge_check(replica, epoch),
             }
         }
         if self.sim.cfg.closed_loop {
@@ -317,6 +377,17 @@ impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
                 } => {
                     self.q
                         .schedule(until, Ev::Fault(FaultAction::ExpireLink { from_stage }));
+                }
+                FaultEvent::GrayDegradation {
+                    replica,
+                    factor,
+                    until,
+                    ..
+                } => {
+                    self.q.schedule(
+                        until,
+                        Ev::Fault(FaultAction::ExpireGray { replica, factor }),
+                    );
                 }
                 _ => {}
             }
@@ -431,10 +502,11 @@ impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
         self.try_begin(rid);
     }
 
-    /// Drops a whole batch at routing time (queue bound reached).
+    /// Drops a whole batch at routing time (queue bound reached),
+    /// attributed to the configured shed cause.
     fn shed_batch(&mut self, stage: usize, mut batch: Batch) {
         let now = self.now();
-        self.acc.record_shed(batch.len());
+        self.acc.record_shed(batch.len(), self.sim.cfg.shed_cause);
         self.observer.on_event(
             now,
             &KernelEvent::BatchShed {
@@ -593,12 +665,28 @@ impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
             spec.deferred_exits,
             slowdown,
         );
-        self.acc.record_busy(rid, out.duration, out.mean_occupancy);
+        // An active gray degradation stretches the *wall-clock* execution
+        // time without touching the self-reported per-sample statistics:
+        // the straggler watchdog keeps seeing a healthy replica while
+        // completions genuinely drift late. The guard keeps gray-free
+        // runs byte-identical (no float round-trip through mul_f64).
+        let mut gray = 1.0;
+        for f in &self.replicas[rid].gray {
+            gray *= f;
+        }
+        let wall = if gray != 1.0 {
+            out.duration.mul_f64(gray)
+        } else {
+            out.duration
+        };
+        self.acc.record_busy(rid, wall, out.mean_occupancy);
         let n = batch.samples.len().max(1) as f64;
         self.replicas[rid].per_sample_secs_sum += out.duration.as_secs_f64() / n;
         self.replicas[rid].busy = true;
+        let now = self.now();
+        self.replicas[rid].exec_started = now;
         self.observer.on_event(
-            self.now(),
+            now,
             &KernelEvent::ExecStart {
                 replica: rid,
                 stage,
@@ -607,17 +695,31 @@ impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
         );
         self.replicas[rid].running = Some(batch);
         self.q.schedule_after(
-            out.duration,
+            wall,
             Ev::ExecDone {
                 replica: rid,
                 epoch: self.replicas[rid].epoch,
             },
         );
+        // Hedged dispatch watches the *expected* service time: the check
+        // fires while this batch still runs exactly when its wall clock
+        // overran the prediction by more than the multiplier.
+        if let Some(h) = self.sim.cfg.hedge {
+            if self.replicas[rid].hedge_partner.is_none() && self.stage_replicas[stage].len() > 1 {
+                self.q.schedule_after(
+                    out.duration.mul_f64(h.multiplier),
+                    Ev::HedgeCheck {
+                        replica: rid,
+                        epoch: self.replicas[rid].epoch,
+                    },
+                );
+            }
+        }
     }
 
     fn on_exec_done(&mut self, rid: usize, epoch: u32) {
         if epoch != self.replicas[rid].epoch {
-            return; // stale: the replica crashed while this batch ran
+            return; // stale: crashed or hedge-cancelled while this batch ran
         }
         let now = self.now();
         let stage = self.replicas[rid].stage;
@@ -628,6 +730,9 @@ impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
             .expect("exec done without a running batch");
         self.replicas[rid].busy = false;
         self.replicas[rid].batches_done += 1;
+        // Each completed execution moves the epoch: a pending HedgeCheck
+        // for this batch is now stale.
+        self.replicas[rid].epoch += 1;
         self.observer.on_event(
             now,
             &KernelEvent::ExecDone {
@@ -636,6 +741,43 @@ impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
                 size: batch.len(),
             },
         );
+        // Feed the wall-clock health estimator — gray degradations show
+        // up here even though the self-reported statistics stay clean.
+        if self.health.is_some() {
+            let wall = now.saturating_since(self.replicas[rid].exec_started);
+            let per_sample = wall.as_secs_f64() / batch.samples.len().max(1) as f64;
+            if let Some(h) = self.health.as_mut() {
+                h.observe(rid, per_sample);
+            }
+        }
+        // First response wins: if this batch was half of a hedge pair,
+        // this copy finished first — cancel the partner's copy (its
+        // samples are the same requests and must count exactly once).
+        if let Some(p) = self.replicas[rid].hedge_partner.take() {
+            self.replicas[p].hedge_partner = None;
+            self.acc.record_hedge_win();
+            self.observer.on_event(
+                now,
+                &KernelEvent::HedgeWon {
+                    replica: rid,
+                    size: batch.len(),
+                },
+            );
+            if let Some(losing) = self.replicas[p].running.take() {
+                self.replicas[p].epoch += 1; // invalidate its ExecDone
+                self.replicas[p].busy = false;
+                self.acc.record_hedge_cancel();
+                self.observer.on_event(
+                    now,
+                    &KernelEvent::HedgeCancelled {
+                        replica: p,
+                        size: losing.samples.len(),
+                    },
+                );
+                self.pool_put(losing.samples);
+                self.try_begin(p);
+            }
+        }
 
         // Completions and survivor compaction in one in-place pass, in the
         // original sample order (samples are `Copy`). The surviving batch
@@ -661,10 +803,189 @@ impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
         if self.policies.straggler.enabled() {
             self.maybe_exclude_straggler(rid);
         }
+        if self.sim.cfg.breaker.is_some() {
+            self.breaker_after_batch(rid);
+        }
         self.try_begin(rid);
         // Completions may have released backpressure: wake idle stage-0
         // feeders.
         self.wake_feeders();
+    }
+
+    /// Advances `rid`'s circuit breaker after a completed batch: a
+    /// closed breaker trips when the health estimator's phi crosses the
+    /// threshold; a half-open breaker re-trips on an implausibly slow
+    /// probe (judged without the warmup floor — the probe phase starts
+    /// from reset history) or closes after enough clean ones.
+    fn breaker_after_batch(&mut self, rid: usize) {
+        let Some(bc) = self.sim.cfg.breaker else {
+            return;
+        };
+        let now = self.now();
+        match self.replicas[rid].breaker {
+            BreakerState::Closed => {
+                let phi = self.health.as_ref().map_or(0.0, |h| h.phi(rid));
+                if !self.replicas[rid].excluded && !self.replicas[rid].crashed && phi >= bc.phi_trip
+                {
+                    self.trip_breaker(rid);
+                }
+            }
+            BreakerState::HalfOpen { probes_left } => {
+                let phi = self.health.as_ref().map_or(0.0, |h| h.phi_unwarmed(rid));
+                if phi >= bc.phi_trip {
+                    self.trip_breaker(rid); // probe failed: back to open
+                } else if probes_left <= 1 {
+                    self.replicas[rid].breaker = BreakerState::Closed;
+                    self.acc.record_breaker_close();
+                    self.observer
+                        .on_event(now, &KernelEvent::BreakerClosed { replica: rid });
+                } else {
+                    self.replicas[rid].breaker = BreakerState::HalfOpen {
+                        probes_left: probes_left - 1,
+                    };
+                }
+            }
+            // A batch that was already running when the breaker tripped
+            // drained; no transition until the cooldown fires.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Trips `rid`'s breaker: exclude it, re-route its queued work, and
+    /// arm the cooldown timer. Its running batch (if any) may still
+    /// finish — exclusion only stops new assignments, like a straggler.
+    fn trip_breaker(&mut self, rid: usize) {
+        let bc = self
+            .sim
+            .cfg
+            .breaker
+            .expect("breaker tripped without config");
+        let now = self.now();
+        let stage = self.replicas[rid].stage;
+        self.replicas[rid].breaker = BreakerState::Open;
+        self.replicas[rid].excluded = true;
+        self.acc.record_breaker_trip();
+        self.acc.record_exclusion(rid, now);
+        self.observer
+            .on_event(now, &KernelEvent::BreakerTripped { replica: rid });
+        self.observer.on_event(
+            now,
+            &KernelEvent::ReplicaExcluded {
+                replica: rid,
+                reason: ExclusionReason::Breaker,
+            },
+        );
+        self.q
+            .schedule_after(bc.cooldown, Ev::BreakerCooldown { replica: rid });
+        let queued: Vec<Batch> = self.replicas[rid].queue.drain(..).collect();
+        for b in queued {
+            self.route(stage, b);
+        }
+    }
+
+    /// An open breaker's cooldown elapsed: re-admit the replica in the
+    /// half-open probe phase with fresh health history. A breaker the
+    /// meantime closed (crash superseded it) or already probing ignores
+    /// the stale timer.
+    fn on_breaker_cooldown(&mut self, rid: usize) {
+        let Some(bc) = self.sim.cfg.breaker else {
+            return;
+        };
+        if self.replicas[rid].breaker != BreakerState::Open || self.replicas[rid].crashed {
+            return;
+        }
+        let now = self.now();
+        self.replicas[rid].breaker = BreakerState::HalfOpen {
+            probes_left: bc.probe_batches,
+        };
+        if let Some(h) = self.health.as_mut() {
+            h.reset(rid);
+        }
+        self.replicas[rid].excluded = false;
+        self.acc.record_recovery(rid, now);
+        self.acc.record_breaker_probe();
+        self.observer
+            .on_event(now, &KernelEvent::BreakerProbe { replica: rid });
+        self.observer
+            .on_event(now, &KernelEvent::ReplicaRecovered { replica: rid });
+        self.try_begin(rid);
+        self.wake_feeders();
+    }
+
+    /// A hedge timer fired: if the batch `rid` started at `epoch` is
+    /// still running (it overran its expected service time), dispatch a
+    /// copy to an idle healthy stage peer. First copy to finish wins.
+    fn on_hedge_check(&mut self, rid: usize, epoch: u32) {
+        if self.replicas[rid].epoch != epoch
+            || !self.replicas[rid].busy
+            || self.replicas[rid].hedge_partner.is_some()
+        {
+            return; // the batch finished, or is already hedged
+        }
+        let stage = self.replicas[rid].stage;
+        if self.stalled[stage] > 0 {
+            return;
+        }
+        // Deterministic backup choice: the lowest-id idle, healthy,
+        // unpaired stage peer. No idle peer: hedging would only queue a
+        // duplicate behind other work, so skip.
+        let backup = self.stage_replicas[stage]
+            .iter()
+            .copied()
+            .filter(|&r| {
+                r != rid
+                    && !self.replicas[r].busy
+                    && !self.replicas[r].excluded
+                    && !self.replicas[r].crashed
+                    && self.replicas[r].queue.is_empty()
+                    && self.replicas[r].hedge_partner.is_none()
+            })
+            .min();
+        let Some(backup) = backup else {
+            // No idle peer right now. The batch is still overrunning, so
+            // re-arm the check one more expected-service-time out — a peer
+            // freeing up later can still rescue it. The epoch guard stops
+            // the re-arm loop the moment the batch resolves.
+            if let Some(h) = self.sim.cfg.hedge {
+                let elapsed = self.now().saturating_since(self.replicas[rid].exec_started);
+                self.q.schedule_after(
+                    elapsed.mul_f64(1.0 / h.multiplier),
+                    Ev::HedgeCheck {
+                        replica: rid,
+                        epoch,
+                    },
+                );
+            }
+            return;
+        };
+        let now = self.now();
+        let mut samples = self.pool_get();
+        {
+            let src = self.replicas[rid]
+                .running
+                .as_ref()
+                .expect("busy replica without a running batch");
+            samples.extend_from_slice(&src.samples);
+        }
+        let size = samples.len();
+        self.acc.record_hedge_dispatch();
+        self.observer.on_event(
+            now,
+            &KernelEvent::HedgeDispatched {
+                primary: rid,
+                backup,
+                size,
+            },
+        );
+        self.replicas[rid].hedge_partner = Some(backup);
+        self.replicas[backup].hedge_partner = Some(rid);
+        self.start_exec(
+            backup,
+            Batch {
+                samples,
+                formed_at: now,
+            },
+        );
     }
 
     /// Hands survivors of `from_stage` to the interconnect. A healthy
@@ -679,21 +1000,25 @@ impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
         );
         if self.link_down[from_stage] > 0 {
             let retry = self.sim.cfg.transfer_retry;
+            let batch = Batch {
+                samples: survivors,
+                formed_at: now,
+            };
+            if !self.take_retry_token() {
+                self.abort_transfer(from_stage, batch, true);
+                return;
+            }
             self.acc.record_transfer_retry();
             self.observer.on_event(
                 now,
                 &KernelEvent::TransferRetried {
                     from_stage,
                     attempt: 1,
-                    size: survivors.len(),
+                    size: batch.len(),
                 },
             );
-            let batch = Batch {
-                samples: survivors,
-                formed_at: now,
-            };
             self.q.schedule_after(
-                retry.base_backoff,
+                retry.backoff_for(1),
                 Ev::TransferRetry {
                     from_stage,
                     batch,
@@ -731,8 +1056,9 @@ impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
 
     /// A parked transfer's retry timer fired: send if the link is back,
     /// back off again if not, abort (dropping the samples) once the
-    /// retry budget is spent.
-    fn on_transfer_retry(&mut self, from_stage: usize, mut batch: Batch, attempt: u32) {
+    /// per-transfer attempt limit — or the per-run retry budget — is
+    /// spent.
+    fn on_transfer_retry(&mut self, from_stage: usize, batch: Batch, attempt: u32) {
         let now = self.now();
         let retry = self.sim.cfg.transfer_retry;
         if self.link_down[from_stage] == 0 {
@@ -740,26 +1066,11 @@ impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
             return;
         }
         if attempt >= retry.max_attempts {
-            self.acc.record_transfer_abort(batch.len());
-            self.observer.on_event(
-                now,
-                &KernelEvent::TransferAborted {
-                    from_stage,
-                    size: batch.len(),
-                },
-            );
-            for s in batch.samples.drain(..) {
-                self.in_flight = self.in_flight.saturating_sub(1);
-                self.observer.on_event(
-                    now,
-                    &KernelEvent::Dropped {
-                        sample: s.id,
-                        stage: from_stage,
-                    },
-                );
-            }
-            self.pool_put(batch.samples);
-            self.wake_feeders();
+            self.abort_transfer(from_stage, batch, false);
+            return;
+        }
+        if !self.take_retry_token() {
+            self.abort_transfer(from_stage, batch, true);
             return;
         }
         let next_attempt = attempt + 1;
@@ -772,16 +1083,55 @@ impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
                 size: batch.len(),
             },
         );
-        // Exponential backoff: attempt k waits base * 2^(k-1).
-        let backoff = retry.base_backoff * (1u64 << attempt.min(20));
         self.q.schedule_after(
-            backoff,
+            retry.backoff_for(next_attempt),
             Ev::TransferRetry {
                 from_stage,
                 batch,
                 attempt: next_attempt,
             },
         );
+    }
+
+    /// Spends one transfer-retry token; always succeeds when no budget
+    /// is configured.
+    fn take_retry_token(&mut self) -> bool {
+        match self.retry_tokens.as_mut() {
+            None => true,
+            Some(t) if *t > 0 => {
+                *t -= 1;
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    /// Aborts a parked (or about-to-park) transfer, dropping its
+    /// samples. `budget_exhausted` attributes the abort to the per-run
+    /// retry budget rather than the transfer's own attempt limit.
+    fn abort_transfer(&mut self, from_stage: usize, mut batch: Batch, budget_exhausted: bool) {
+        let now = self.now();
+        self.acc
+            .record_transfer_abort(batch.len(), budget_exhausted);
+        self.observer.on_event(
+            now,
+            &KernelEvent::TransferAborted {
+                from_stage,
+                size: batch.len(),
+            },
+        );
+        for s in batch.samples.drain(..) {
+            self.in_flight = self.in_flight.saturating_sub(1);
+            self.observer.on_event(
+                now,
+                &KernelEvent::Dropped {
+                    sample: s.id,
+                    stage: from_stage,
+                },
+            );
+        }
+        self.pool_put(batch.samples);
+        self.wake_feeders();
     }
 
     /// Wakes idle closed-loop stage-0 feeders (drops or completions may
@@ -873,6 +1223,11 @@ impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
                     FaultEvent::LinkDown { from_stage, .. } => {
                         self.link_down[from_stage] += 1;
                     }
+                    FaultEvent::GrayDegradation {
+                        replica, factor, ..
+                    } => {
+                        self.replicas[replica].gray.push(factor);
+                    }
                 }
             }
             FaultAction::ExpireSlowdown { replica, factor } => {
@@ -897,6 +1252,12 @@ impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
                 // Parked transfers notice on their next retry timer; no
                 // proactive kick keeps the retry cadence deterministic.
                 self.link_down[from_stage] = self.link_down[from_stage].saturating_sub(1);
+            }
+            FaultAction::ExpireGray { replica, factor } => {
+                let g = &mut self.replicas[replica].gray;
+                if let Some(pos) = g.iter().position(|&f| f == factor) {
+                    g.remove(pos);
+                }
             }
         }
     }
@@ -924,7 +1285,27 @@ impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
                 reason: ExclusionReason::Crash,
             },
         );
+        // A crash supersedes whatever the breaker was doing; the replica
+        // is judged afresh after recovery.
+        self.replicas[rid].breaker = BreakerState::Closed;
         let mut orphaned: Vec<Batch> = Vec::new();
+        if let Some(p) = self.replicas[rid].hedge_partner.take() {
+            // The dying replica's copy of a hedged batch is NOT
+            // re-routed: the partner's copy still runs and will account
+            // for the samples. Re-routing would double-count them.
+            self.replicas[p].hedge_partner = None;
+            if let Some(copy) = self.replicas[rid].running.take() {
+                self.acc.record_hedge_cancel();
+                self.observer.on_event(
+                    now,
+                    &KernelEvent::HedgeCancelled {
+                        replica: rid,
+                        size: copy.samples.len(),
+                    },
+                );
+                self.pool_put(copy.samples);
+            }
+        }
         if let Some(b) = self.replicas[rid].running.take() {
             orphaned.push(b);
         }
@@ -947,6 +1328,11 @@ impl<'a, 'p, Q: SimQueue<Ev>> Kernel<'a, 'p, Q> {
         self.replicas[rid].batches_done = 0;
         self.replicas[rid].per_sample_secs_sum = 0.0;
         self.replicas[rid].transient.clear();
+        self.replicas[rid].gray.clear();
+        self.replicas[rid].breaker = BreakerState::Closed;
+        if let Some(h) = self.health.as_mut() {
+            h.reset(rid);
+        }
         self.acc.record_recovery(rid, now);
         self.observer
             .on_event(now, &KernelEvent::ReplicaRecovered { replica: rid });

@@ -60,12 +60,14 @@ pub mod sample;
 pub mod serial;
 pub mod strategy;
 
-pub use engine::{SegmentRun, ServingConfig, ServingSim, TransferRetryConfig};
+pub use engine::{
+    BreakerConfig, HedgeConfig, SegmentRun, ServingConfig, ServingSim, TransferRetryConfig,
+};
 pub use kernel::{
     run_continuous, AdmissionPolicy, BatchingPolicy, ContinuousBatching, ContinuousConfig,
     ContinuousOutcome, ExclusionReason, FaultEvent, FaultPlan, JoinPolicy, KernelEvent,
     KernelPolicies, KvPlan, OffsetObserver, PreemptMode, RunObserver, SequenceSpec,
     StragglerPolicy, TagObserver, TaggedEventLog, TokenJourney,
 };
-pub use report::RunReport;
+pub use report::{RobustnessStats, RunReport, ShedBreakdown, ShedCause};
 pub use strategy::Strategy;

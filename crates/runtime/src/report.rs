@@ -16,6 +16,94 @@ pub struct ExitEvent {
     pub exited_early: bool,
 }
 
+/// Why a batch was shed at routing time. The kernel tags queue-bound
+/// sheds with the configured cause
+/// ([`crate::engine::ServingConfig::shed_cause`]) so layers that tighten
+/// the bound deliberately — the brownout controller — can tell their
+/// sheds apart from organic overload in the [`ShedBreakdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedCause {
+    /// The per-replica queue bound was reached under organic load.
+    #[default]
+    QueueCap,
+    /// The queue bound had been tightened by the brownout controller's
+    /// shed rung; the loss is attributed to the controller.
+    Brownout,
+}
+
+/// Every dropped sample of a run, broken down by what dropped it. The
+/// four causes partition [`RunReport::dropped`]: queue-bound sheds,
+/// admission-policy rejections, transfer aborts, and brownout sheds are
+/// the only paths that lose samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShedBreakdown {
+    /// Samples shed at routing time by the per-replica queue bound.
+    pub queue_cap: u64,
+    /// Samples rejected by the admission policy (deadline unmeetable).
+    pub admission: u64,
+    /// Samples dropped with a transfer that exhausted its retries.
+    pub transfer_abort: u64,
+    /// Samples shed while the brownout controller's tightened queue
+    /// bound was in force.
+    pub brownout: u64,
+}
+
+impl ShedBreakdown {
+    /// Total samples lost across all causes — equals
+    /// [`RunReport::dropped`].
+    pub fn total(&self) -> u64 {
+        self.queue_cap + self.admission + self.transfer_abort + self.brownout
+    }
+
+    /// Adds another breakdown's counts into this one.
+    pub fn merge(&mut self, other: &ShedBreakdown) {
+        self.queue_cap += other.queue_cap;
+        self.admission += other.admission;
+        self.transfer_abort += other.transfer_abort;
+        self.brownout += other.brownout;
+    }
+}
+
+/// Counters of the kernel's tail-tolerance machinery: sheds by cause,
+/// hedged dispatches, circuit-breaker transitions, and retry-budget
+/// exhaustion. All zero (the `Default`) for runs that never enable the
+/// machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RobustnessStats {
+    /// Dropped samples by cause.
+    pub sheds: ShedBreakdown,
+    /// Straggling batches re-dispatched to a healthy peer.
+    pub hedges_dispatched: u64,
+    /// Hedged batches resolved by one copy finishing first.
+    pub hedges_won: u64,
+    /// Hedge copies cancelled (the losing copy of a resolved pair, or a
+    /// copy orphaned by its replica crashing).
+    pub hedges_cancelled: u64,
+    /// Circuit-breaker trips (health-estimator verdicts).
+    pub breaker_trips: u64,
+    /// Breakers that entered the half-open probe phase.
+    pub breaker_probes: u64,
+    /// Breakers that closed after a clean probe phase.
+    pub breaker_closes: u64,
+    /// Transfers aborted because the per-run retry budget ran out
+    /// (rather than their own attempt limit).
+    pub retry_budget_exhausted: u64,
+}
+
+impl RobustnessStats {
+    /// Adds another run's counters into this one (segment merging).
+    pub fn merge(&mut self, other: &RobustnessStats) {
+        self.sheds.merge(&other.sheds);
+        self.hedges_dispatched += other.hedges_dispatched;
+        self.hedges_won += other.hedges_won;
+        self.hedges_cancelled += other.hedges_cancelled;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_probes += other.breaker_probes;
+        self.breaker_closes += other.breaker_closes;
+        self.retry_budget_exhausted += other.retry_budget_exhausted;
+    }
+}
+
 /// Everything measured over one serving run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -71,6 +159,10 @@ pub struct RunReport {
     pub tokens_generated: u64,
     /// Sequences preempted by KV-cache pressure during the run.
     pub kv_preemptions: u64,
+    /// Tail-tolerance counters: sheds by cause, hedges, breaker
+    /// transitions, retry-budget exhaustion. All zero unless the run
+    /// enabled the machinery.
+    pub robustness: RobustnessStats,
 }
 
 impl RunReport {
@@ -110,6 +202,7 @@ impl RunReport {
             merged.transfer_aborts += seg.transfer_aborts;
             merged.tokens_generated += seg.tokens_generated;
             merged.kv_preemptions += seg.kv_preemptions;
+            merged.robustness.merge(&seg.robustness);
             merged.latency.merge(&seg.latency);
             merged
                 .exit_events
@@ -281,6 +374,7 @@ mod tests {
             transfer_aborts: 0,
             tokens_generated: 4,
             kv_preemptions: 0,
+            robustness: RobustnessStats::default(),
         }
     }
 
@@ -306,12 +400,16 @@ mod tests {
         b.within_slo = 2;
         b.shed = 3;
         b.peak_replica_queue_depth = vec![4];
+        b.robustness.sheds.brownout = 3;
+        b.robustness.breaker_trips = 1;
         let m = RunReport::concat(vec![a, b]);
         assert_eq!(m.duration, SimDuration::from_secs(3));
         assert_eq!(m.completed, 4);
         assert_eq!(m.within_slo, 3);
         assert_eq!(m.dropped, 4);
         assert_eq!(m.shed, 3);
+        assert_eq!(m.robustness.sheds.brownout, 3);
+        assert_eq!(m.robustness.breaker_trips, 1);
         assert_eq!(m.tokens_generated, 8);
         assert_eq!(m.latency.samples_ms().len(), 4);
         // Second segment's exit events are re-based past the first's end.
@@ -363,6 +461,27 @@ mod tests {
     }
 
     #[test]
+    fn shed_breakdown_totals_and_merges() {
+        let mut a = ShedBreakdown {
+            queue_cap: 5,
+            admission: 2,
+            transfer_abort: 1,
+            brownout: 0,
+        };
+        assert_eq!(a.total(), 8);
+        let b = ShedBreakdown {
+            queue_cap: 1,
+            admission: 0,
+            transfer_abort: 0,
+            brownout: 7,
+        };
+        a.merge(&b);
+        assert_eq!(a.total(), 16);
+        assert_eq!(a.brownout, 7);
+        assert_eq!(ShedBreakdown::default().total(), 0);
+    }
+
+    #[test]
     fn degraded_accounting() {
         let mut r = report();
         r.replica_availability = vec![1.0, 0.5];
@@ -398,6 +517,7 @@ mod tests {
             transfer_aborts: 0,
             tokens_generated: 0,
             kv_preemptions: 0,
+            robustness: RobustnessStats::default(),
         };
         assert_eq!(r.tokens_per_sec(), 0.0);
         assert_eq!(r.goodput(), 0.0);

@@ -21,9 +21,11 @@
 //!   the continuous-batching kernel, checks every cell's streams, and
 //!   shrinks any failure to a minimal repro cell.
 
+pub mod fuzz;
 pub mod invariant;
 pub mod matrix;
 
+pub use fuzz::{decode_fault_plan, RECORD_BYTES};
 pub use invariant::{CheckerConfig, InvariantChecker, InvariantClass, StreamScope, Violation};
 pub use matrix::{
     ArrivalPattern, CellOutcome, ExitPolicyMode, FaultSeverity, HardnessDrift, MatrixOutcome,

@@ -28,9 +28,16 @@ test -s /tmp/fig10.out
     | grep -q "continuous batching beats window batching"
 test -s /tmp/fig_kv.out
 
-# Scenario-matrix smoke: the pruned composed-stress subset must pass
+# Brownout smoke: the golden-pinned small grid must show the ladder
+# beating shed-only overload control and hedging capping the gray tail.
+./target/release/fig_brownout | tee /tmp/fig_brownout.out \
+    | grep -q "browning out exit depth beats shedding"
+test -s /tmp/fig_brownout.out
+
+# Scenario-matrix smoke: the pruned composed-stress subset (now incl.
+# correlated-outage and gray-degradation cells under brownout) must pass
 # invariant checking with zero violations (well under 30 s; the full
-# 96-cell cross product is `fig_matrix --full`).
+# 320-cell cross product is `fig_matrix --full`).
 ./target/release/fig_matrix | tee /tmp/fig_matrix.out \
     | grep -q "zero invariant violations"
 test -s /tmp/fig_matrix.out
