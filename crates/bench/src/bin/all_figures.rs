@@ -4,8 +4,16 @@
 //! ```text
 //! cargo run --release -p e3-bench --bin all_figures | tee experiments.txt
 //! ```
+//!
+//! Per-figure wall time goes to stderr (so stdout stays the clean
+//! experiment record) and, when `BENCH_FIGURES_JSON` names a path, to a
+//! JSON file CI archives alongside the kernel/optimizer benches — the
+//! fleet-wide timing record that catches a figure quietly becoming 10x
+//! slower.
 
+use std::fmt::Write as _;
 use std::process::Command;
+use std::time::Instant;
 
 fn main() {
     let figures = [
@@ -39,16 +47,42 @@ fn main() {
         "fig_reconfig",
         "fig_multitenant",
         "fig_matrix",
+        "fig_edge",
         "fig_scale",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
+    let suite_start = Instant::now();
+    let mut timings: Vec<(&str, f64)> = Vec::with_capacity(figures.len());
     for fig in figures {
         println!("\n{:=^78}\n", format!(" {fig} "));
+        let start = Instant::now();
         let status = Command::new(dir.join(fig))
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
         assert!(status.success(), "{fig} failed");
+        timings.push((fig, start.elapsed().as_secs_f64()));
     }
     println!("\nall {} experiments completed", figures.len());
+
+    let total = suite_start.elapsed().as_secs_f64();
+    eprintln!("\nper-figure wall time:");
+    for &(fig, secs) in &timings {
+        eprintln!("  {fig:<28} {secs:>8.2}s");
+    }
+    eprintln!("  {:<28} {total:>8.2}s", "total");
+
+    if let Ok(path) = std::env::var("BENCH_FIGURES_JSON") {
+        let mut json = String::from("{\n  \"figures\": [\n");
+        for (i, &(fig, secs)) in timings.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "    {{\"name\": \"{fig}\", \"wall_s\": {secs:.3}}}{}",
+                if i + 1 < timings.len() { "," } else { "" }
+            );
+        }
+        let _ = write!(json, "  ],\n  \"total_wall_s\": {total:.3}\n}}\n");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("figure timings written to {path}");
+    }
 }

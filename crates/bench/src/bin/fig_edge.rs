@@ -1,0 +1,7 @@
+//! Edge–cloud split serving sweep: split policy × WAN quality × deadline
+//! tightness, with offload-conservation checking of every fleet's event
+//! stream.
+
+fn main() {
+    print!("{}", e3_bench::figs::fig_edge_report());
+}

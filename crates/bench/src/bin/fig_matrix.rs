@@ -1,7 +1,11 @@
 //! Scenario-matrix stress run: composed arrival/drift/fault/skew/guard/
 //! exit-policy cells with online invariant checking of every kernel
 //! stream. Runs the pruned smoke subset by default; `--full` runs the
-//! complete 320-cell cross product.
+//! complete 320-cell cross product. Either way, one adversarial edge
+//! cell (flaky cellular × tight deadline) runs after the matrix with
+//! offload-conservation checking of its event stream.
+
+use e3_scenarios::{run_edge_cell, DeadlineTightness, EdgeCell, LinkQuality};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -11,7 +15,26 @@ fn main() {
         e3_bench::figs::fig_matrix_report()
     };
     print!("{report}");
-    if report.contains("FAIL") {
+
+    // The edge smoke cell rides along after the golden-pinned matrix
+    // report: the nastiest pairing of the edge axes, checked for offload
+    // conservation.
+    let cell = EdgeCell {
+        link: LinkQuality::FlakyCellular,
+        deadline: DeadlineTightness::Tight,
+    };
+    let out = run_edge_cell(cell, e3_bench::SEED);
+    println!(
+        "edge smoke cell {}: {} requests, {} edge events, {} violations, attainment {:.1}% -- {}",
+        cell.label(),
+        out.requests,
+        out.events_checked,
+        out.violations.len(),
+        out.attainment * 100.0,
+        if out.pass() { "pass" } else { "FAIL" },
+    );
+
+    if report.contains("FAIL") || !out.pass() {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,237 @@
+//! The edge fleet's typed event stream.
+//!
+//! Every request admitted at a device leaves an audit trail here:
+//! admission, the split decision's consequences (local exit, local
+//! completion, or offload), WAN retries, and exactly one terminal
+//! event. The stream is what the `e3-scenarios` offload-conservation
+//! checker consumes — "every offloaded sample either completes on the
+//! cluster, exits on-device, or is accounted as a deadline miss/abort —
+//! never both, never neither" is checked against these events, not
+//! against the aggregate counters derived from them.
+
+use e3_simcore::SimTime;
+
+/// One edge-serving event. `sample` ids are unique fleet-wide.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeEvent {
+    /// A request arrived at a device and was admitted with a deadline.
+    Admitted {
+        /// Fleet-wide sample id.
+        sample: u64,
+        /// Device class index.
+        class: u32,
+        /// Absolute deadline.
+        deadline: SimTime,
+    },
+    /// The sample's ramp confidence cleared the threshold before the
+    /// split boundary: it completed on-device. Terminal.
+    ExitedOnDevice {
+        /// Fleet-wide sample id.
+        sample: u64,
+        /// Ramp index it exited at.
+        ramp: usize,
+        /// Whether the end-to-end latency met the deadline.
+        within_deadline: bool,
+    },
+    /// The device ran the *whole* model locally (the policy chose no
+    /// offload) and the sample never exited. Terminal.
+    CompletedOnDevice {
+        /// Fleet-wide sample id.
+        sample: u64,
+        /// Whether the end-to-end latency met the deadline.
+        within_deadline: bool,
+    },
+    /// The sample survived the on-device prefix and its activations
+    /// were handed to the WAN for cluster service.
+    Offloaded {
+        /// Fleet-wide sample id.
+        sample: u64,
+        /// Split boundary (first cluster layer).
+        boundary: usize,
+        /// Activation bytes on the wire.
+        bytes: u64,
+    },
+    /// The upload hit a LinkDown burst and waited it out.
+    TransferRetried {
+        /// Fleet-wide sample id.
+        sample: u64,
+    },
+    /// The upload was abandoned: by the time the link came back the
+    /// deadline was already unmeetable. Terminal (accounted as a miss).
+    OffloadAborted {
+        /// Fleet-wide sample id.
+        sample: u64,
+    },
+    /// The cluster shed or dropped the offloaded sample. Terminal
+    /// (accounted as a miss).
+    CloudDropped {
+        /// Fleet-wide sample id.
+        sample: u64,
+    },
+    /// The cluster served the suffix and the result returned to the
+    /// device. Terminal.
+    CloudCompleted {
+        /// Fleet-wide sample id.
+        sample: u64,
+        /// Whether the end-to-end latency met the deadline.
+        within_deadline: bool,
+    },
+}
+
+impl EdgeEvent {
+    /// The sample id the event concerns.
+    pub fn sample(&self) -> u64 {
+        match *self {
+            EdgeEvent::Admitted { sample, .. }
+            | EdgeEvent::ExitedOnDevice { sample, .. }
+            | EdgeEvent::CompletedOnDevice { sample, .. }
+            | EdgeEvent::Offloaded { sample, .. }
+            | EdgeEvent::TransferRetried { sample }
+            | EdgeEvent::OffloadAborted { sample }
+            | EdgeEvent::CloudDropped { sample }
+            | EdgeEvent::CloudCompleted { sample, .. } => sample,
+        }
+    }
+
+    /// True for events that close a sample's lifecycle.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            EdgeEvent::ExitedOnDevice { .. }
+                | EdgeEvent::CompletedOnDevice { .. }
+                | EdgeEvent::OffloadAborted { .. }
+                | EdgeEvent::CloudDropped { .. }
+                | EdgeEvent::CloudCompleted { .. }
+        )
+    }
+}
+
+/// Append-only log of timestamped edge events, re-based onto the
+/// fleet's one global clock.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeEventLog {
+    events: Vec<(SimTime, EdgeEvent)>,
+}
+
+impl EdgeEventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        EdgeEventLog::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, at: SimTime, event: EdgeEvent) {
+        self.events.push((at, event));
+    }
+
+    /// All events in emission order (per-sample causal order; *not*
+    /// globally time-sorted, since devices are simulated one at a time).
+    pub fn events(&self) -> &[(SimTime, EdgeEvent)] {
+        &self.events
+    }
+
+    /// Events time-sorted onto the global clock; ties keep emission
+    /// order, so each sample's lifecycle stays causally ordered.
+    pub fn merged_by_time(&self) -> Vec<(SimTime, EdgeEvent)> {
+        let mut v = self.events.clone();
+        v.sort_by_key(|&(t, _)| t);
+        v
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Count of events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&EdgeEvent) -> bool) -> usize {
+        self.events.iter().filter(|(_, e)| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_classification_and_sample_ids() {
+        let term = [
+            EdgeEvent::ExitedOnDevice {
+                sample: 1,
+                ramp: 3,
+                within_deadline: true,
+            },
+            EdgeEvent::CompletedOnDevice {
+                sample: 2,
+                within_deadline: false,
+            },
+            EdgeEvent::OffloadAborted { sample: 3 },
+            EdgeEvent::CloudDropped { sample: 4 },
+            EdgeEvent::CloudCompleted {
+                sample: 5,
+                within_deadline: true,
+            },
+        ];
+        for (i, e) in term.iter().enumerate() {
+            assert!(e.is_terminal());
+            assert_eq!(e.sample(), i as u64 + 1);
+        }
+        let open = [
+            EdgeEvent::Admitted {
+                sample: 9,
+                class: 0,
+                deadline: SimTime::from_millis(100),
+            },
+            EdgeEvent::Offloaded {
+                sample: 9,
+                boundary: 6,
+                bytes: 1024,
+            },
+            EdgeEvent::TransferRetried { sample: 9 },
+        ];
+        for e in &open {
+            assert!(!e.is_terminal());
+            assert_eq!(e.sample(), 9);
+        }
+    }
+
+    #[test]
+    fn merged_by_time_sorts_stably() {
+        let mut log = EdgeEventLog::new();
+        log.push(
+            SimTime::from_millis(5),
+            EdgeEvent::Admitted {
+                sample: 1,
+                class: 0,
+                deadline: SimTime::from_millis(105),
+            },
+        );
+        log.push(
+            SimTime::from_millis(2),
+            EdgeEvent::Admitted {
+                sample: 2,
+                class: 0,
+                deadline: SimTime::from_millis(102),
+            },
+        );
+        log.push(
+            SimTime::from_millis(5),
+            EdgeEvent::OffloadAborted { sample: 1 },
+        );
+        let merged = log.merged_by_time();
+        assert_eq!(merged[0].1.sample(), 2);
+        // Equal timestamps keep emission order: Admitted before its
+        // terminal.
+        assert!(matches!(merged[1].1, EdgeEvent::Admitted { sample: 1, .. }));
+        assert!(matches!(
+            merged[2].1,
+            EdgeEvent::OffloadAborted { sample: 1 }
+        ));
+        assert_eq!(log.count(|e| e.is_terminal()), 1);
+    }
+}

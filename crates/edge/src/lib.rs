@@ -1,0 +1,39 @@
+//! # e3-edge: edge–cloud split serving with deadlines
+//!
+//! The edge tier of the E3 stack (ROADMAP item 3, grounded in SplitEE
+//! and EdgeServing). Weak edge devices — NPU-class [`GpuKind`] tiers
+//! with little memory and no batching headroom — run a per-request
+//! *prefix* of an early-exit DNN. Samples whose ramp confidence clears
+//! the exit threshold finish on-device; the hard remainder ships its
+//! boundary activations over a WAN-grade link (tens of milliseconds of
+//! base latency, seeded bandwidth jitter, LinkDown loss bursts) to the
+//! existing multi-tenant cluster, which serves the suffix under the
+//! same goodput machinery every other E3 experiment uses.
+//!
+//! Where to cut is the whole game, and it is decided *online, per
+//! request* by a [`SplitPolicy`] reading deadline slack, the device's
+//! EWMA view of link health, and queue depth. [`DeadlineAware`] — the
+//! headline policy — prices candidate cuts with the optimizer's DP
+//! stage costs and picks the deepest on-device prefix whose offload
+//! path still meets the deadline, retreating toward fully-local
+//! serving when the link degrades. [`StaticSplit`] and [`ExitFirst`]
+//! bracket it from below.
+//!
+//! [`EdgeFleet`] drives thousands of device-local runs, re-bases the
+//! surviving offload traffic onto the cluster's clock as phased
+//! tenants, and accounts every request against its deadline in a
+//! standard [`RunReport`](e3_runtime::RunReport) — with a typed
+//! [`EdgeEventLog`] so the scenario harness can check offload
+//! conservation event by event.
+//!
+//! [`GpuKind`]: e3_hardware::GpuKind
+
+pub mod event;
+pub mod fleet;
+pub mod link;
+pub mod policy;
+
+pub use event::{EdgeEvent, EdgeEventLog};
+pub use fleet::{ClassReport, EdgeClassSpec, EdgeConfig, EdgeFleet, EdgeReport};
+pub use link::{LinkTracker, WanSpec};
+pub use policy::{DeadlineAware, ExitFirst, SplitContext, SplitPolicy, StaticSplit};

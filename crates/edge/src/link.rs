@@ -1,0 +1,135 @@
+//! WAN link state: the uplink spec and the device's online estimator.
+//!
+//! Each device class reaches the cluster over one WAN profile — a
+//! [`JitteredLink`] (nominal kind + seeded bandwidth jitter) plus a
+//! [`LinkOutages`] schedule of LinkDown bursts. Devices cannot see the
+//! schedule; what a [`SplitPolicy`](crate::SplitPolicy) gets is a
+//! [`LinkTracker`]'s EWMA of *observed* transfer latency relative to
+//! nominal, exactly the signal a real edge runtime has.
+
+use e3_hardware::{JitteredLink, LinkKind, LinkOutages};
+use e3_optimizer::LinkEstimate;
+use e3_simcore::{SimDuration, SimTime};
+
+/// One device class's WAN profile.
+#[derive(Debug, Clone)]
+pub struct WanSpec {
+    /// The uplink, with seeded bandwidth jitter.
+    pub link: JitteredLink,
+    /// LinkDown burst schedule (loss model).
+    pub outages: LinkOutages,
+    /// Result payload returned downlink after cluster service (logits,
+    /// a few KB — base latency dominates).
+    pub result_bytes: u64,
+}
+
+impl WanSpec {
+    /// A jitter-free, outage-free link of the given kind.
+    pub fn healthy(kind: LinkKind) -> Self {
+        WanSpec {
+            link: JitteredLink::fixed(kind),
+            outages: LinkOutages::none(),
+            result_bytes: 4 * 1024,
+        }
+    }
+
+    /// The nominal link kind.
+    pub fn kind(&self) -> LinkKind {
+        self.link.link
+    }
+
+    /// Downlink time for the result payload, at nominal speed (small
+    /// payload; jitter on it is noise beneath the base latency).
+    pub fn result_return(&self) -> SimDuration {
+        self.kind().transfer_time(self.result_bytes)
+    }
+
+    /// If the link is down at `at`, when the burst ends.
+    pub fn down_until(&self, at: SimTime) -> Option<SimTime> {
+        self.outages.down_until(at)
+    }
+}
+
+/// EWMA half-life knob: weight of the newest observation.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// A device-local estimator of WAN health: tracks the ratio of observed
+/// uplink latency (including any outage wait) to the nominal link's
+/// latency for the same payload, smoothed by an EWMA. Feeding the
+/// resulting [`LinkEstimate`] to the split planner is what makes
+/// `DeadlineAware` adapt — a congested or flapping link inflates the
+/// slowdown, offload paths stop fitting the slack, and the policy
+/// retreats toward on-device execution until the estimate decays back.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkTracker {
+    nominal: LinkKind,
+    slowdown: f64,
+}
+
+impl LinkTracker {
+    /// A tracker that starts out believing the link is nominal.
+    pub fn new(nominal: LinkKind) -> Self {
+        LinkTracker {
+            nominal,
+            slowdown: 1.0,
+        }
+    }
+
+    /// Records one completed (or abandoned) upload: `observed` is the
+    /// time from upload-ready to upload-done, outage waits included.
+    pub fn observe(&mut self, bytes: u64, observed: SimDuration) {
+        let nominal = self.nominal.transfer_time(bytes);
+        if nominal.is_zero() {
+            return;
+        }
+        let ratio = observed.as_secs_f64() / nominal.as_secs_f64();
+        self.slowdown = (1.0 - EWMA_ALPHA) * self.slowdown + EWMA_ALPHA * ratio;
+    }
+
+    /// The current slowdown estimate (1.0 = nominal).
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// The planner-facing estimate.
+    pub fn estimate(&self) -> LinkEstimate {
+        LinkEstimate {
+            link: self.nominal,
+            slowdown: self.slowdown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_converges_toward_observed_ratio() {
+        let mut t = LinkTracker::new(LinkKind::WanFiber);
+        assert_eq!(t.slowdown(), 1.0);
+        let bytes = 393_216;
+        let nominal = LinkKind::WanFiber.transfer_time(bytes);
+        // A string of 4x-slow uploads drags the estimate well above
+        // nominal; a string of nominal ones decays it back.
+        for _ in 0..12 {
+            t.observe(bytes, nominal.mul_f64(4.0));
+        }
+        assert!(t.slowdown() > 3.0, "slowdown={}", t.slowdown());
+        for _ in 0..12 {
+            t.observe(bytes, nominal);
+        }
+        assert!(t.slowdown() < 1.3, "slowdown={}", t.slowdown());
+        assert_eq!(t.estimate().link, LinkKind::WanFiber);
+    }
+
+    #[test]
+    fn healthy_spec_round_trip() {
+        let w = WanSpec::healthy(LinkKind::WanCellular);
+        assert_eq!(w.kind(), LinkKind::WanCellular);
+        assert_eq!(w.down_until(SimTime::from_secs(5)), None);
+        // Result return is dominated by base latency.
+        assert!(w.result_return() >= LinkKind::WanCellular.base_latency());
+        assert!(w.result_return() < SimDuration::from_millis(60));
+    }
+}

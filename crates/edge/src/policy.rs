@@ -1,0 +1,221 @@
+//! Online split policies: where to cut, decided per request.
+//!
+//! The policy seam of the edge subsystem. A [`SplitPolicy`] sees one
+//! request's [`SplitContext`] — deadline slack after queueing and the
+//! return path, the device's current view of the WAN (an EWMA-backed
+//! [`LinkEstimate`]), and the device queue depth — and names the split
+//! boundary: layers `0..boundary` run on the device, the rest (if the
+//! sample does not exit first) offload to the cluster.
+//!
+//! Three implementations span the design space:
+//!
+//! * [`StaticSplit`] — a fixed boundary, the configuration a
+//!   profile-once-deploy-forever system would ship;
+//! * [`ExitFirst`] — SplitEE-style: run the deepest prefix a fixed
+//!   fraction of the deadline affords, exit locally when confidence
+//!   clears the threshold, offload the rest — link-state blind;
+//! * [`DeadlineAware`] — the headline: consults the
+//!   [`EdgeSplitPlanner`] for the deepest cut whose worst-case offload
+//!   path still meets the deadline under the *current* link estimate.
+
+use e3_optimizer::{EdgeSplitPlanner, EdgeSplitTables, LinkEstimate};
+use e3_simcore::SimDuration;
+
+/// Everything a policy may look at for one request.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitContext {
+    /// Deadline slack left for the prefix → upload → suffix path:
+    /// deadline minus queue wait minus the return-path allowance.
+    pub slack: SimDuration,
+    /// The device's current estimate of the WAN link.
+    pub link: LinkEstimate,
+    /// Requests queued ahead of this one on the device.
+    pub queue_depth: usize,
+}
+
+/// Chooses the split boundary online, per request.
+pub trait SplitPolicy {
+    /// Display label for reports.
+    fn label(&self) -> String;
+
+    /// The boundary for this request (first cluster layer;
+    /// `num_layers` = fully local). The fleet clamps the answer to the
+    /// device tier's feasible candidate set.
+    fn split(&mut self, ctx: &SplitContext) -> usize;
+
+    /// Decision-cache (hits, misses), for policies that plan through a
+    /// warm cache.
+    fn cache_stats(&self) -> Option<(u64, u64)> {
+        None
+    }
+}
+
+/// A fixed split boundary, chosen offline and never revisited.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticSplit {
+    /// The boundary every request gets.
+    pub boundary: usize,
+}
+
+impl SplitPolicy for StaticSplit {
+    fn label(&self) -> String {
+        format!("StaticSplit@{}", self.boundary)
+    }
+
+    fn split(&mut self, _ctx: &SplitContext) -> usize {
+        self.boundary
+    }
+}
+
+/// SplitEE-style compute-budget policy: spend up to `compute_frac` of
+/// the slack on the on-device prefix (maximizing the chance of a local
+/// exit), offload whatever survives. Ignores link state and queue — the
+/// budget is its only dial.
+#[derive(Debug, Clone)]
+pub struct ExitFirst {
+    tables: EdgeSplitTables,
+    /// Fraction of the request's slack granted to the device prefix.
+    pub compute_frac: f64,
+}
+
+impl ExitFirst {
+    /// A policy over the device tier's pricing tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < compute_frac <= 1.0`.
+    pub fn new(tables: EdgeSplitTables, compute_frac: f64) -> Self {
+        assert!(
+            compute_frac > 0.0 && compute_frac <= 1.0,
+            "compute_frac must be in (0, 1]: {compute_frac}"
+        );
+        ExitFirst {
+            tables,
+            compute_frac,
+        }
+    }
+}
+
+impl SplitPolicy for ExitFirst {
+    fn label(&self) -> String {
+        format!("ExitFirst({:.0}%)", self.compute_frac * 100.0)
+    }
+
+    fn split(&mut self, ctx: &SplitContext) -> usize {
+        let budget = ctx.slack.mul_f64(self.compute_frac);
+        self.tables
+            .candidates()
+            .iter()
+            .rev()
+            .find(|c| c.fits_device && c.device_prefix <= budget)
+            .or_else(|| self.tables.candidates().iter().find(|c| c.fits_device))
+            .map(|c| c.boundary)
+            .expect("at least one candidate fits the device")
+    }
+}
+
+/// The deadline-driven policy: delegates to the optimizer's
+/// [`EdgeSplitPlanner`], which picks the deepest cut whose worst-case
+/// path meets the slack under the current link estimate, warm-cached
+/// per (link, slack) bucket.
+#[derive(Debug, Clone)]
+pub struct DeadlineAware {
+    planner: EdgeSplitPlanner,
+}
+
+impl DeadlineAware {
+    /// A policy over the device tier's pricing tables.
+    pub fn new(tables: EdgeSplitTables) -> Self {
+        DeadlineAware {
+            planner: EdgeSplitPlanner::new(tables),
+        }
+    }
+
+    /// The underlying planner (pricing tables, cache statistics).
+    pub fn planner(&self) -> &EdgeSplitPlanner {
+        &self.planner
+    }
+}
+
+impl SplitPolicy for DeadlineAware {
+    fn label(&self) -> String {
+        "DeadlineAware".to_string()
+    }
+
+    fn split(&mut self, ctx: &SplitContext) -> usize {
+        self.planner.plan(&ctx.link, ctx.slack)
+    }
+
+    fn cache_stats(&self) -> Option<(u64, u64)> {
+        Some((self.planner.cache_hits(), self.planner.cache_misses()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e3_hardware::{GpuKind, LatencyModel, LinkKind};
+    use e3_model::{zoo, BatchProfile, RampController, RampStyle};
+
+    fn tables(device: GpuKind) -> EdgeSplitTables {
+        let m = zoo::deebert();
+        let ctrl = RampController::all_enabled(m.num_ramps(), RampStyle::Independent);
+        EdgeSplitTables::build(
+            &m,
+            &ctrl,
+            &BatchProfile::no_exits(m.num_layers()),
+            device,
+            &LatencyModel::new(),
+            GpuKind::V100,
+            8.0,
+            &LatencyModel::new(),
+        )
+    }
+
+    fn ctx(slack_ms: u64, slowdown: f64) -> SplitContext {
+        SplitContext {
+            slack: SimDuration::from_millis(slack_ms),
+            link: LinkEstimate {
+                link: LinkKind::WanFiber,
+                slowdown,
+            },
+            queue_depth: 0,
+        }
+    }
+
+    #[test]
+    fn static_split_ignores_everything() {
+        let mut p = StaticSplit { boundary: 6 };
+        assert_eq!(p.split(&ctx(500, 1.0)), 6);
+        assert_eq!(p.split(&ctx(10, 50.0)), 6);
+        assert_eq!(p.label(), "StaticSplit@6");
+        assert!(p.cache_stats().is_none());
+    }
+
+    #[test]
+    fn exit_first_scales_depth_with_slack_but_not_link() {
+        let mut p = ExitFirst::new(tables(GpuKind::OrinNx), 0.5);
+        let deep = p.split(&ctx(400, 1.0));
+        let shallow = p.split(&ctx(120, 1.0));
+        assert!(deep > shallow, "deep={deep} shallow={shallow}");
+        // Link-state blind: a 20x slowdown changes nothing.
+        assert_eq!(p.split(&ctx(120, 20.0)), shallow);
+        // Even a hopeless slack still yields a (shallowest) boundary.
+        assert!(p.split(&ctx(1, 1.0)) >= 1);
+    }
+
+    #[test]
+    fn deadline_aware_reacts_to_link_state() {
+        let mut p = DeadlineAware::new(tables(GpuKind::OrinNx));
+        let healthy = p.split(&ctx(130, 1.0));
+        let degraded = p.split(&ctx(130, 12.0));
+        assert!(healthy < 12, "healthy={healthy}");
+        assert_eq!(degraded, 12, "degraded link should retreat on-device");
+        let (h, m) = p.cache_stats().unwrap();
+        assert_eq!((h, m), (0, 2));
+        // Same bucket again: served from the warm cache.
+        let again = p.split(&ctx(130, 1.0));
+        assert_eq!(again, healthy);
+        assert_eq!(p.cache_stats().unwrap().0, 1);
+    }
+}

@@ -176,6 +176,57 @@ mod tests {
     }
 
     #[test]
+    fn one_gpu_cluster_collapses_to_single_domains() {
+        // A 1-GPU cluster: one machine, so one rack, one switch, one
+        // PDU, all holding exactly GPU 0 — no empty or phantom domains.
+        let c = ClusterSpec::homogeneous(GpuKind::V100, 1, 1);
+        let t = DomainTopology::derive(&c, 2);
+        assert_eq!(t.racks().len(), 1);
+        assert_eq!(t.switches().len(), 1);
+        assert_eq!(t.pdus().len(), 1);
+        for kind in [
+            FaultDomainKind::Rack,
+            FaultDomainKind::Switch,
+            FaultDomainKind::Pdu,
+        ] {
+            let d = &t.domains(kind)[0];
+            assert_eq!(d.machines, vec![0], "{kind:?}");
+            assert_eq!(d.gpus, vec![0], "{kind:?}");
+            assert_eq!(d.num_gpus(), 1);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_machine_count_leaves_ragged_tail() {
+        // 10 GPUs at 2/machine -> 5 machines; racks of 2 -> 3 racks with
+        // a short tail rack, 2 switches (2+1 racks), 1 PDU.
+        let c = ClusterSpec::homogeneous(GpuKind::V100, 10, 2);
+        let t = DomainTopology::derive(&c, 2);
+        assert_eq!(t.racks().len(), 3);
+        assert_eq!(t.racks()[2].machines, vec![4]);
+        assert_eq!(t.racks()[2].gpus, vec![8, 9]);
+        assert_eq!(t.switches().len(), 2);
+        // The second switch covers only the ragged tail rack.
+        assert_eq!(t.switches()[1].gpus, vec![8, 9]);
+        assert_eq!(t.pdus().len(), 1);
+        assert_eq!(t.pdus()[0].num_gpus(), 10);
+        // Every level partitions the GPU set exactly.
+        for kind in [
+            FaultDomainKind::Rack,
+            FaultDomainKind::Switch,
+            FaultDomainKind::Pdu,
+        ] {
+            let mut all: Vec<usize> = t
+                .domains(kind)
+                .iter()
+                .flat_map(|d| d.gpus.clone())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..10).collect::<Vec<_>>(), "{kind:?}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one machine")]
     fn zero_machines_per_rack_rejected() {
         let c = ClusterSpec::homogeneous(GpuKind::V100, 2, 2);

@@ -1,0 +1,386 @@
+//! Edge split-point planner: pricing the device/cluster cut.
+//!
+//! Edge–cloud split serving asks a narrower question than the cluster
+//! DP: given *one* weak device holding a prefix of the model and a WAN
+//! link to a cluster that serves the suffix, where should the cut go
+//! for the request in hand? This module answers it with the same
+//! pricing primitives the DP uses — [`crate::stage::stage_cost`] for
+//! both sides of the cut and the boundary's activation bytes for the
+//! wire — precomputed once per (model, device tier, cluster kind) into
+//! an [`EdgeSplitTables`], then consulted per request by an
+//! [`EdgeSplitPlanner`] that memoizes decisions per quantized
+//! (link-state, deadline-slack) bucket so steady traffic plans in O(1).
+//!
+//! Candidate cuts are the model's ramp boundaries (exiting and
+//! offloading are decided at the same points, after SplitEE) plus the
+//! full model (no offload). The device prefix is priced at batch 1 with
+//! no exit shrinkage — the *worst-case* path a non-exiting sample pays —
+//! while the cluster suffix is priced at the cluster's serving batch
+//! with the measured exit profile, matching how each side actually runs.
+
+use crate::stage::{stage_cost, stage_fits};
+use e3_hardware::{GpuKind, LatencyModel, LinkKind};
+use e3_model::{BatchProfile, EeModel, RampController};
+use e3_simcore::SimDuration;
+use std::collections::BTreeMap;
+
+/// One candidate cut: layers `0..boundary` on the device, the rest on
+/// the cluster. `boundary == num_layers` means fully local.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitCandidate {
+    /// First cluster layer; the device runs `0..boundary`.
+    pub boundary: usize,
+    /// Worst-case (no-exit) batch-1 prefix time on the device tier,
+    /// including every enabled ramp up to the boundary.
+    pub device_prefix: SimDuration,
+    /// Expected cluster service time for a suffix batch, priced at the
+    /// cluster's serving batch with the measured exit profile. Zero for
+    /// the fully-local candidate.
+    pub cluster_suffix: SimDuration,
+    /// Activation bytes crossing the wire at this cut (0 if fully local).
+    pub upload_bytes: u64,
+    /// Whether the prefix's weights and activations fit the device tier
+    /// (§3.1 safety check). Infeasible candidates are never planned.
+    pub fits_device: bool,
+}
+
+impl SplitCandidate {
+    /// True when this cut offloads (i.e. is not the fully-local run).
+    pub fn offloads(&self) -> bool {
+        self.upload_bytes > 0
+    }
+}
+
+/// Precomputed per-(model, device tier, cluster kind) pricing tables
+/// for every candidate cut, shallowest first.
+#[derive(Debug, Clone)]
+pub struct EdgeSplitTables {
+    candidates: Vec<SplitCandidate>,
+}
+
+impl EdgeSplitTables {
+    /// Builds the tables. `cluster_batch` is the batch size the cluster
+    /// side serves the suffix at; `profile` is the measured exit
+    /// profile used to price the suffix's shrinkage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no ramps (there would be a single
+    /// candidate and nothing to plan).
+    #[allow(clippy::too_many_arguments)] // the two sides of the cut
+    pub fn build(
+        model: &EeModel,
+        ctrl: &RampController,
+        profile: &BatchProfile,
+        device: GpuKind,
+        device_lm: &LatencyModel,
+        cluster: GpuKind,
+        cluster_batch: f64,
+        cluster_lm: &LatencyModel,
+    ) -> Self {
+        assert!(model.num_ramps() > 0, "split planning needs exit ramps");
+        let no_exits = BatchProfile::no_exits(model.num_layers());
+        let mut boundaries: Vec<usize> = model.ramps().iter().map(|r| r.after_layer + 1).collect();
+        boundaries.push(model.num_layers());
+        boundaries.sort_unstable();
+        boundaries.dedup();
+
+        let candidates = boundaries
+            .into_iter()
+            .map(|b| {
+                let device_prefix =
+                    stage_cost(model, ctrl, &no_exits, 0..b, 1.0, device, 1, device_lm).batch_time;
+                let (cluster_suffix, upload_bytes) = if b == model.num_layers() {
+                    (SimDuration::ZERO, 0)
+                } else {
+                    let sc = stage_cost(
+                        model,
+                        ctrl,
+                        profile,
+                        b..model.num_layers(),
+                        cluster_batch,
+                        cluster,
+                        1,
+                        cluster_lm,
+                    );
+                    (sc.batch_time, model.boundary_bytes(b - 1))
+                };
+                SplitCandidate {
+                    boundary: b,
+                    device_prefix,
+                    cluster_suffix,
+                    upload_bytes,
+                    fits_device: stage_fits(model, 0..b, 1.0, device),
+                }
+            })
+            .collect();
+        EdgeSplitTables { candidates }
+    }
+
+    /// All candidate cuts, shallowest first.
+    pub fn candidates(&self) -> &[SplitCandidate] {
+        &self.candidates
+    }
+
+    /// The deepest cut whose prefix fits the device, if any.
+    pub fn deepest_feasible(&self) -> Option<&SplitCandidate> {
+        self.candidates.iter().rev().find(|c| c.fits_device)
+    }
+}
+
+/// The planner's view of the WAN link right now: the nominal link kind
+/// scaled by an observed slowdown (EWMA of observed / nominal transfer
+/// latency, maintained by the edge runtime; 1.0 = nominal, large =
+/// congested or freshly recovered from an outage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkEstimate {
+    /// Nominal link kind.
+    pub link: LinkKind,
+    /// Multiplicative slowdown on the nominal transfer time, >= 0.
+    pub slowdown: f64,
+}
+
+impl LinkEstimate {
+    /// A link believed to be at nominal speed.
+    pub fn nominal(link: LinkKind) -> Self {
+        LinkEstimate {
+            link,
+            slowdown: 1.0,
+        }
+    }
+
+    /// Estimated time to move `bytes` under the current slowdown.
+    pub fn transfer(&self, bytes: u64) -> SimDuration {
+        self.link.transfer_time(bytes).mul_f64(self.slowdown)
+    }
+}
+
+/// Width of one deadline-slack bucket.
+const SLACK_BUCKET: SimDuration = SimDuration::from_millis(25);
+/// Highest slack bucket; everything looser is "plenty of time".
+const SLACK_BUCKET_MAX: i64 = 40;
+
+/// Per-request split planner with a warm decision cache.
+///
+/// [`EdgeSplitPlanner::plan`] picks the *deepest* feasible cut whose
+/// worst-case path — device prefix, then (if offloading) estimated
+/// upload plus cluster suffix — still fits the request's deadline
+/// slack. Running deep maximizes the chance the sample exits on-device
+/// and never touches the WAN; the slack constraint keeps the fallback
+/// path honest. When no cut fits the slack, the planner returns the
+/// deepest cut that fits the device's memory instead: nothing will
+/// meet the deadline anyway, so it maximizes the fraction of samples
+/// that exit locally and complete at all. Decisions are memoized per
+/// (link bucket, slack bucket), so a stable link answers almost every
+/// request from cache.
+///
+/// The caller should fold any return-path or queueing time it knows
+/// about into `slack` before calling; the planner prices only the
+/// prefix → upload → suffix path.
+#[derive(Debug, Clone)]
+pub struct EdgeSplitPlanner {
+    tables: EdgeSplitTables,
+    cache: BTreeMap<(i64, i64), usize>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EdgeSplitPlanner {
+    /// A planner over prebuilt tables.
+    pub fn new(tables: EdgeSplitTables) -> Self {
+        EdgeSplitPlanner {
+            tables,
+            cache: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The underlying pricing tables.
+    pub fn tables(&self) -> &EdgeSplitTables {
+        &self.tables
+    }
+
+    /// Total worst-case path time of candidate `c` under `est`.
+    pub fn path_time(&self, c: &SplitCandidate, est: &LinkEstimate) -> SimDuration {
+        let mut t = c.device_prefix;
+        if c.offloads() {
+            t += est.transfer(c.upload_bytes) + c.cluster_suffix;
+        }
+        t
+    }
+
+    fn link_bucket(est: &LinkEstimate) -> i64 {
+        // Two buckets per doubling of slowdown, clamped to a small range:
+        // enough resolution to react to congestion, coarse enough that a
+        // steady link stays in one bucket.
+        let s = est.slowdown.max(1e-3);
+        ((s.log2() * 2.0).round() as i64).clamp(-4, 16)
+    }
+
+    fn slack_bucket(slack: SimDuration) -> i64 {
+        ((slack.as_nanos() / SLACK_BUCKET.as_nanos()) as i64).min(SLACK_BUCKET_MAX)
+    }
+
+    /// Plans the cut for one request: returns the boundary (first
+    /// cluster layer; `num_layers` = fully local).
+    pub fn plan(&mut self, est: &LinkEstimate, slack: SimDuration) -> usize {
+        let key = (Self::link_bucket(est), Self::slack_bucket(slack));
+        if let Some(&idx) = self.cache.get(&key) {
+            self.hits += 1;
+            return self.tables.candidates[idx].boundary;
+        }
+        self.misses += 1;
+        let idx = self.choose(est, slack);
+        self.cache.insert(key, idx);
+        self.tables.candidates[idx].boundary
+    }
+
+    fn choose(&self, est: &LinkEstimate, slack: SimDuration) -> usize {
+        let cands = &self.tables.candidates;
+        // Deepest feasible cut meeting the slack.
+        let meeting = cands
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, c)| c.fits_device && self.path_time(c, est) <= slack);
+        if let Some((idx, _)) = meeting {
+            return idx;
+        }
+        // Nothing meets the deadline: run as deep as the device allows,
+        // salvaging every sample confident enough to exit locally.
+        cands
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, c)| c.fits_device)
+            .map(|(idx, _)| idx)
+            .expect("at least one candidate must fit the device")
+    }
+
+    /// Decision-cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Decision-cache misses (full pricing passes) so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e3_model::{zoo, RampStyle};
+
+    fn tables(device: GpuKind) -> EdgeSplitTables {
+        let m = zoo::deebert();
+        let ctrl = RampController::all_enabled(m.num_ramps(), RampStyle::Independent);
+        let profile = BatchProfile::no_exits(m.num_layers());
+        EdgeSplitTables::build(
+            &m,
+            &ctrl,
+            &profile,
+            device,
+            &LatencyModel::new(),
+            GpuKind::V100,
+            4.0,
+            &LatencyModel::new(),
+        )
+    }
+
+    #[test]
+    fn tables_cover_all_ramp_boundaries_plus_local() {
+        let t = tables(GpuKind::OrinNx);
+        // DeeBERT: ramps after layers 0..=10 -> boundaries 1..=11, plus 12.
+        let bounds: Vec<usize> = t.candidates().iter().map(|c| c.boundary).collect();
+        assert_eq!(bounds, (1..=12).collect::<Vec<_>>());
+        // Prefix cost strictly grows with depth; suffix strictly shrinks.
+        for w in t.candidates().windows(2) {
+            assert!(w[0].device_prefix < w[1].device_prefix);
+            assert!(w[0].cluster_suffix > w[1].cluster_suffix);
+        }
+        let local = t.candidates().last().unwrap();
+        assert!(!local.offloads());
+        assert_eq!(local.cluster_suffix, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn memory_starved_tier_cannot_run_fully_local() {
+        // The Orin holds all of DeeBERT; the USB-class NPU must cut early.
+        assert_eq!(
+            tables(GpuKind::OrinNx).deepest_feasible().unwrap().boundary,
+            12
+        );
+        let coral = tables(GpuKind::CoralNpu);
+        let deepest = coral.deepest_feasible().unwrap().boundary;
+        assert!(deepest < 12, "CoralNPU should not fit the full model");
+        assert!(deepest >= 8, "but most of the prefix fits: {deepest}");
+    }
+
+    #[test]
+    fn tight_slack_plans_shallower_than_loose_slack() {
+        let mut p = EdgeSplitPlanner::new(tables(GpuKind::OrinNx));
+        let est = LinkEstimate::nominal(LinkKind::WanFiber);
+        // Loose slack: the whole model fits on-device in time — run it
+        // all locally. Tight slack: only a shallow prefix leaves room
+        // for the upload + cluster suffix.
+        let loose = p.plan(&est, SimDuration::from_millis(900));
+        let tight = p.plan(&est, SimDuration::from_millis(105));
+        assert_eq!(loose, 12, "loose slack should go fully local");
+        assert!(tight < loose, "tight={tight} should cut shallower");
+        assert!(tight >= 1);
+    }
+
+    #[test]
+    fn degraded_link_pushes_the_cut_toward_local() {
+        let mut p = EdgeSplitPlanner::new(tables(GpuKind::OrinNx));
+        // Slack too tight for the ~143 ms fully-local run, roomy enough
+        // for a mid-depth offload over a healthy link.
+        let slack = SimDuration::from_millis(130);
+        let healthy = p.plan(&LinkEstimate::nominal(LinkKind::WanFiber), slack);
+        let degraded = p.plan(
+            &LinkEstimate {
+                link: LinkKind::WanFiber,
+                slowdown: 12.0,
+            },
+            slack,
+        );
+        assert!(healthy < 12, "healthy link should offload: {healthy}");
+        // Under a 12x slowdown every offload path blows the slack; the
+        // planner falls back to the deepest device-feasible cut.
+        assert_eq!(degraded, 12, "Orin should go fully local");
+    }
+
+    #[test]
+    fn decision_cache_warms_per_bucket() {
+        let mut p = EdgeSplitPlanner::new(tables(GpuKind::OrinNx));
+        let est = LinkEstimate::nominal(LinkKind::WanCellular);
+        let first = p.plan(&est, SimDuration::from_millis(210));
+        assert_eq!(p.cache_misses(), 1);
+        // Same bucket (slack within 25 ms, slowdown within the bucket):
+        // answered from cache, identically.
+        for slack_ms in [205, 215, 224] {
+            let again = p.plan(
+                &LinkEstimate {
+                    link: LinkKind::WanCellular,
+                    slowdown: 1.05,
+                },
+                SimDuration::from_millis(slack_ms),
+            );
+            assert_eq!(again, first);
+        }
+        assert_eq!(p.cache_misses(), 1);
+        assert_eq!(p.cache_hits(), 3);
+        // A very different link state is a different bucket.
+        let _ = p.plan(
+            &LinkEstimate {
+                link: LinkKind::WanCellular,
+                slowdown: 8.0,
+            },
+            SimDuration::from_millis(210),
+        );
+        assert_eq!(p.cache_misses(), 2);
+    }
+}

@@ -39,6 +39,7 @@ pub mod autoreg_split;
 pub mod cache;
 pub mod config;
 pub mod dp;
+pub mod edge;
 pub mod hetero;
 pub mod marginal;
 pub mod plan;
@@ -53,6 +54,7 @@ pub use autoreg_split::{plan_autoreg_split, AutoRegSplitPlan};
 pub use cache::{CacheStats, PlanCache};
 pub use config::OptimizerConfig;
 pub use dp::{optimize_homogeneous, optimize_homogeneous_cached};
+pub use edge::{EdgeSplitPlanner, EdgeSplitTables, LinkEstimate, SplitCandidate};
 pub use hetero::optimize_heterogeneous;
 pub use marginal::{SubsetValue, ValueOracle};
 pub use plan::{Split, SplitPlan};

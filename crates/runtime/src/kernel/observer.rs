@@ -502,6 +502,40 @@ mod tests {
         assert_eq!(a.events.len(), 2);
     }
 
+    /// `high_water` across back-to-back *empty* segments: a segment that
+    /// observes no events must report `high_water == base`, so the next
+    /// segment's base (`max(elapsed, high_water)`) neither rewinds the
+    /// global clock nor inherits a stale mark — chaining several empty
+    /// segments keeps the base monotone and exactly where the driver
+    /// advanced it.
+    #[test]
+    fn high_water_rebases_across_back_to_back_empty_segments() {
+        let mut log = EventLog::new();
+        // Empty segment 1, based at 3ms: high water stays at the base.
+        let base1 = SimTime::from_millis(3);
+        let hw1 = {
+            let off = OffsetObserver::new(base1, &mut log);
+            off.high_water()
+        };
+        assert_eq!(hw1, base1);
+        // Empty segment 2, re-based the way the tenancy driver does:
+        // max(driver clock, previous high water). Still no events.
+        let base2 = SimTime::from_millis(7).max(hw1);
+        let hw2 = {
+            let off = OffsetObserver::new(base2, &mut log);
+            off.high_water()
+        };
+        assert_eq!(hw2, SimTime::from_millis(7));
+        assert!(hw2 >= hw1, "empty segments must not rewind the clock");
+        // A third segment finally observes an event; it lands re-based
+        // past both empty segments and advances the mark.
+        let mut off = OffsetObserver::new(hw2, &mut log);
+        off.on_event(SimTime::from_millis(2), &KernelEvent::Arrival { sample: 0 });
+        assert_eq!(off.high_water(), SimTime::from_millis(9));
+        assert!(log.events.is_empty() || log.events[0].0 == SimTime::from_millis(9));
+        assert_eq!(log.events.len(), 1);
+    }
+
     /// Segment-boundary re-basing pin (see `RunReport::concat`): when a
     /// guarded window is served as consecutive kernel runs, the last event
     /// of segment k and the first event of segment k+1 can land on the

@@ -1,0 +1,506 @@
+//! Edge-serving conservation checking and the edge scenario axes.
+//!
+//! The edge fleet narrates every request's lifecycle as a typed
+//! [`EdgeEvent`] stream: admission, at most one hand-off to the WAN, and
+//! exactly one terminal. [`check_offload_conservation`] validates the
+//! whole law over a recorded [`EdgeEventLog`] — every offloaded sample
+//! either completes on the cluster, exits on-device, or is accounted as
+//! a deadline miss/abort, *never both, never neither* — as
+//! [`InvariantClass::OffloadConservation`] violations, independent of
+//! the aggregate counters the [`e3_edge::EdgeReport`] carries.
+//!
+//! [`EdgeCell`] extends the scenario matrix with the edge axes ({link
+//! quality} × {deadline tightness}); [`run_edge_cell`] drives a small
+//! two-class fleet (an Orin-class tier plus a memory-starved Coral-class
+//! tier) under the `DeadlineAware` policy and checks its event stream.
+
+use std::collections::HashMap;
+
+use e3_edge::{
+    DeadlineAware, EdgeClassSpec, EdgeConfig, EdgeEvent, EdgeEventLog, EdgeFleet, EdgeReport,
+    WanSpec,
+};
+use e3_hardware::{ClusterSpec, GpuKind, JitteredLink, LinkKind, LinkOutages};
+use e3_simcore::{SeedSplitter, SimDuration, SimTime};
+use e3_workload::DatasetModel;
+
+use crate::invariant::{InvariantClass, Violation};
+
+/// Per-sample lifecycle state while replaying the stream.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+enum Lifecycle {
+    /// Admitted, still on the device.
+    #[default]
+    OnDevice,
+    /// Handed to the WAN; only cloud-side events may follow.
+    Offloaded,
+    /// Closed by a terminal event.
+    Terminated,
+}
+
+/// Replays an edge event stream and returns every breach of the offload
+/// conservation law as an [`InvariantClass::OffloadConservation`]
+/// violation:
+///
+/// * every non-`Admitted` event needs a prior admission, and no sample
+///   is admitted twice;
+/// * `Offloaded` happens at most once, only while the sample is still on
+///   the device;
+/// * `TransferRetried`, `OffloadAborted`, `CloudDropped`, and
+///   `CloudCompleted` require a prior `Offloaded`; device terminals
+///   (`ExitedOnDevice` / `CompletedOnDevice`) forbid one;
+/// * exactly one terminal per sample — a second is a breach, and at end
+///   of stream every admitted sample must have one.
+pub fn check_offload_conservation(log: &EdgeEventLog) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut state: HashMap<u64, Lifecycle> = HashMap::new();
+    let mut last_at = SimTime::ZERO;
+    let mut report = |at: SimTime, detail: String| {
+        violations.push(Violation {
+            at,
+            class: InvariantClass::OffloadConservation,
+            detail,
+        });
+    };
+    for &(at, e) in log.events() {
+        last_at = last_at.max(at);
+        let id = e.sample();
+        if let EdgeEvent::Admitted { .. } = e {
+            if state.insert(id, Lifecycle::OnDevice).is_some() {
+                report(at, format!("sample {id} admitted twice"));
+            }
+            continue;
+        }
+        let Some(&lc) = state.get(&id) else {
+            report(at, format!("sample {id}: {e:?} before admission"));
+            continue;
+        };
+        match e {
+            EdgeEvent::Admitted { .. } => unreachable!("handled above"),
+            EdgeEvent::Offloaded { .. } => match lc {
+                Lifecycle::OnDevice => {
+                    state.insert(id, Lifecycle::Offloaded);
+                }
+                Lifecycle::Offloaded => report(at, format!("sample {id} offloaded twice")),
+                Lifecycle::Terminated => {
+                    report(at, format!("sample {id} offloaded after terminating"))
+                }
+            },
+            EdgeEvent::TransferRetried { .. } => {
+                if lc != Lifecycle::Offloaded {
+                    report(
+                        at,
+                        format!("sample {id} retried a transfer it never started"),
+                    );
+                }
+            }
+            EdgeEvent::ExitedOnDevice { .. } | EdgeEvent::CompletedOnDevice { .. } => match lc {
+                Lifecycle::OnDevice => {
+                    state.insert(id, Lifecycle::Terminated);
+                }
+                Lifecycle::Offloaded => report(
+                    at,
+                    format!("sample {id} terminated on-device after offloading"),
+                ),
+                Lifecycle::Terminated => report(at, format!("sample {id} terminated twice")),
+            },
+            EdgeEvent::OffloadAborted { .. }
+            | EdgeEvent::CloudDropped { .. }
+            | EdgeEvent::CloudCompleted { .. } => match lc {
+                Lifecycle::Offloaded => {
+                    state.insert(id, Lifecycle::Terminated);
+                }
+                Lifecycle::OnDevice => report(
+                    at,
+                    format!("sample {id}: cloud-side {e:?} without an offload"),
+                ),
+                Lifecycle::Terminated => report(at, format!("sample {id} terminated twice")),
+            },
+        }
+    }
+    // End of stream: nothing may still be in flight.
+    let mut open: Vec<(u64, Lifecycle)> = state
+        .into_iter()
+        .filter(|&(_, lc)| lc != Lifecycle::Terminated)
+        .collect();
+    open.sort_unstable_by_key(|&(id, _)| id);
+    for (id, lc) in open {
+        let where_ = match lc {
+            Lifecycle::OnDevice => "on the device",
+            Lifecycle::Offloaded => "on the WAN/cluster",
+            Lifecycle::Terminated => unreachable!("filtered"),
+        };
+        report(
+            last_at,
+            format!("sample {id} still open {where_} at end of stream"),
+        );
+    }
+    violations
+}
+
+/// WAN health axis for the edge scenario cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkQuality {
+    /// Jitter-free fiber, no outages.
+    Fiber,
+    /// Cellular with 30% bandwidth jitter, no outages.
+    Cellular,
+    /// Cellular with 30% jitter plus seeded LinkDown bursts.
+    FlakyCellular,
+}
+
+/// Deadline-tightness axis for the edge scenario cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineTightness {
+    /// 300 ms: a healthy offload path fits comfortably.
+    Loose,
+    /// 120 ms: only shallow-exit local serving or a fast path fits.
+    Tight,
+}
+
+impl DeadlineTightness {
+    /// The per-request deadline the axis value stands for.
+    pub fn deadline(self) -> SimDuration {
+        match self {
+            DeadlineTightness::Loose => SimDuration::from_millis(300),
+            DeadlineTightness::Tight => SimDuration::from_millis(120),
+        }
+    }
+}
+
+/// One point of the edge scenario space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeCell {
+    /// WAN health.
+    pub link: LinkQuality,
+    /// Deadline tightness.
+    pub deadline: DeadlineTightness,
+}
+
+impl EdgeCell {
+    /// Compact display label, one token per axis.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}",
+            match self.link {
+                LinkQuality::Fiber => "fiber",
+                LinkQuality::Cellular => "cellular",
+                LinkQuality::FlakyCellular => "flaky-cell",
+            },
+            match self.deadline {
+                DeadlineTightness::Loose => "loose",
+                DeadlineTightness::Tight => "tight",
+            },
+        )
+    }
+}
+
+/// The full edge cross product: 3 × 2 = 6 cells.
+pub fn edge_cells() -> Vec<EdgeCell> {
+    let mut out = Vec::new();
+    for link in [
+        LinkQuality::Fiber,
+        LinkQuality::Cellular,
+        LinkQuality::FlakyCellular,
+    ] {
+        for deadline in [DeadlineTightness::Loose, DeadlineTightness::Tight] {
+            out.push(EdgeCell { link, deadline });
+        }
+    }
+    out
+}
+
+/// What one edge cell's run produced.
+#[derive(Debug, Clone)]
+pub struct EdgeCellOutcome {
+    /// The cell that ran.
+    pub cell: EdgeCell,
+    /// Edge events validated.
+    pub events_checked: u64,
+    /// Offload-conservation violations (empty = pass).
+    pub violations: Vec<Violation>,
+    /// Fleet-wide deadline attainment.
+    pub attainment: f64,
+    /// Requests admitted fleet-wide.
+    pub requests: u64,
+}
+
+impl EdgeCellOutcome {
+    /// True when the conservation law held everywhere.
+    pub fn pass(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The WAN profile an axis value stands for, seeded per cell.
+fn wan_for(link: LinkQuality, seed: u64, horizon: SimDuration) -> WanSpec {
+    match link {
+        LinkQuality::Fiber => WanSpec::healthy(LinkKind::WanFiber),
+        LinkQuality::Cellular => WanSpec {
+            link: JitteredLink::new(LinkKind::WanCellular, 0.3, seed),
+            outages: LinkOutages::none(),
+            result_bytes: 4 * 1024,
+        },
+        LinkQuality::FlakyCellular => WanSpec {
+            link: JitteredLink::new(LinkKind::WanCellular, 0.3, seed),
+            outages: LinkOutages::seeded(
+                seed ^ 0xF1A4,
+                SimDuration::from_millis(600),
+                SimDuration::from_millis(200),
+                horizon,
+            ),
+            result_bytes: 4 * 1024,
+        },
+    }
+}
+
+/// The edge fleet one cell drives: an Orin-class tier plus a
+/// memory-starved Coral-class tier (which can never run fully local)
+/// over the cell's WAN, deadline from the tightness axis, and the
+/// `DeadlineAware` policy per class.
+pub fn edge_fleet_for(cell: EdgeCell, seed: u64) -> EdgeFleet {
+    let windows = 3usize;
+    let window = SimDuration::from_secs(1);
+    let horizon = window * windows as u64;
+    let wan_seed = SeedSplitter::new(seed).derive(&cell.label());
+    let classes = vec![
+        EdgeClassSpec {
+            name: "orin".into(),
+            tier: GpuKind::OrinNx,
+            wan: wan_for(cell.link, wan_seed, horizon),
+            devices: 24,
+            requests_per_device_window: 3,
+            dataset: DatasetModel::with_mix(0.6),
+        },
+        EdgeClassSpec {
+            name: "coral".into(),
+            tier: GpuKind::CoralNpu,
+            wan: wan_for(cell.link, wan_seed ^ 1, horizon),
+            devices: 16,
+            requests_per_device_window: 2,
+            dataset: DatasetModel::with_mix(0.55),
+        },
+    ];
+    EdgeFleet::new(EdgeConfig {
+        profile_samples: 400,
+        ..EdgeConfig::deebert(
+            classes,
+            windows,
+            window,
+            cell.deadline.deadline(),
+            ClusterSpec::homogeneous(GpuKind::V100, 4, 2),
+            seed,
+        )
+    })
+}
+
+/// Runs one edge cell under `DeadlineAware` and checks its event stream.
+pub fn run_edge_cell(cell: EdgeCell, seed: u64) -> EdgeCellOutcome {
+    let report =
+        edge_fleet_for(cell, seed).run(&mut |_, tables| Box::new(DeadlineAware::new(tables)));
+    outcome_from_report(cell, &report)
+}
+
+/// Checks an already-produced fleet report against the cell it ran as.
+pub fn outcome_from_report(cell: EdgeCell, report: &EdgeReport) -> EdgeCellOutcome {
+    EdgeCellOutcome {
+        cell,
+        events_checked: report.events.len() as u64,
+        violations: check_offload_conservation(&report.events),
+        attainment: report.attainment(),
+        requests: report.requests(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn admitted(sample: u64) -> EdgeEvent {
+        EdgeEvent::Admitted {
+            sample,
+            class: 0,
+            deadline: t(100),
+        }
+    }
+
+    fn offloaded(sample: u64) -> EdgeEvent {
+        EdgeEvent::Offloaded {
+            sample,
+            boundary: 6,
+            bytes: 1024,
+        }
+    }
+
+    fn classes(v: &[Violation]) -> Vec<InvariantClass> {
+        v.iter().map(|x| x.class).collect()
+    }
+
+    #[test]
+    fn clean_lifecycles_pass() {
+        let mut log = EdgeEventLog::new();
+        // Local exit; offload → cloud completion (with a retry); offload
+        // → abort; offload → cloud drop; fully-local completion.
+        log.push(t(0), admitted(0));
+        log.push(
+            t(5),
+            EdgeEvent::ExitedOnDevice {
+                sample: 0,
+                ramp: 3,
+                within_deadline: true,
+            },
+        );
+        log.push(t(1), admitted(1));
+        log.push(t(6), offloaded(1));
+        log.push(t(7), EdgeEvent::TransferRetried { sample: 1 });
+        log.push(
+            t(40),
+            EdgeEvent::CloudCompleted {
+                sample: 1,
+                within_deadline: true,
+            },
+        );
+        log.push(t(2), admitted(2));
+        log.push(t(8), offloaded(2));
+        log.push(t(90), EdgeEvent::OffloadAborted { sample: 2 });
+        log.push(t(3), admitted(3));
+        log.push(t(9), offloaded(3));
+        log.push(t(50), EdgeEvent::CloudDropped { sample: 3 });
+        log.push(t(4), admitted(4));
+        log.push(
+            t(60),
+            EdgeEvent::CompletedOnDevice {
+                sample: 4,
+                within_deadline: true,
+            },
+        );
+        assert!(check_offload_conservation(&log).is_empty());
+    }
+
+    #[test]
+    fn mutations_fire_the_offload_conservation_class() {
+        // Mutation: a sample both completes on the cluster AND exits on
+        // the device ("both").
+        let mut log = EdgeEventLog::new();
+        log.push(t(0), admitted(0));
+        log.push(t(1), offloaded(0));
+        log.push(
+            t(2),
+            EdgeEvent::CloudCompleted {
+                sample: 0,
+                within_deadline: true,
+            },
+        );
+        log.push(
+            t(3),
+            EdgeEvent::ExitedOnDevice {
+                sample: 0,
+                ramp: 2,
+                within_deadline: true,
+            },
+        );
+        assert_eq!(
+            classes(&check_offload_conservation(&log)),
+            vec![InvariantClass::OffloadConservation]
+        );
+
+        // Mutation: an offloaded sample never reaches any terminal
+        // ("neither").
+        let mut log = EdgeEventLog::new();
+        log.push(t(0), admitted(0));
+        log.push(t(1), offloaded(0));
+        assert_eq!(
+            classes(&check_offload_conservation(&log)),
+            vec![InvariantClass::OffloadConservation]
+        );
+
+        // Mutation: a cloud terminal with no prior offload.
+        let mut log = EdgeEventLog::new();
+        log.push(t(0), admitted(0));
+        log.push(t(1), EdgeEvent::CloudDropped { sample: 0 });
+        // The bogus drop AND the still-open sample both fire.
+        let v = check_offload_conservation(&log);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(classes(&v)
+            .iter()
+            .all(|&c| c == InvariantClass::OffloadConservation));
+
+        // Mutation: a terminal for a sample that was never admitted.
+        let mut log = EdgeEventLog::new();
+        log.push(t(0), EdgeEvent::OffloadAborted { sample: 7 });
+        assert_eq!(
+            classes(&check_offload_conservation(&log)),
+            vec![InvariantClass::OffloadConservation]
+        );
+
+        // Mutation: double admission.
+        let mut log = EdgeEventLog::new();
+        log.push(t(0), admitted(0));
+        log.push(t(1), admitted(0));
+        log.push(
+            t(2),
+            EdgeEvent::CompletedOnDevice {
+                sample: 0,
+                within_deadline: true,
+            },
+        );
+        assert_eq!(
+            classes(&check_offload_conservation(&log)),
+            vec![InvariantClass::OffloadConservation]
+        );
+
+        // Mutation: a retry after the upload already aborted.
+        let mut log = EdgeEventLog::new();
+        log.push(t(0), admitted(0));
+        log.push(t(1), offloaded(0));
+        log.push(t(2), EdgeEvent::OffloadAborted { sample: 0 });
+        log.push(t(3), EdgeEvent::TransferRetried { sample: 0 });
+        assert_eq!(
+            classes(&check_offload_conservation(&log)),
+            vec![InvariantClass::OffloadConservation]
+        );
+    }
+
+    #[test]
+    fn display_name_is_kebab_case() {
+        assert_eq!(
+            InvariantClass::OffloadConservation.to_string(),
+            "offload-conservation"
+        );
+    }
+
+    #[test]
+    fn edge_cells_cover_the_cross_product() {
+        let cells = edge_cells();
+        assert_eq!(cells.len(), 6);
+        for (i, a) in cells.iter().enumerate() {
+            assert!(!cells[i + 1..].contains(a), "duplicate cell {}", a.label());
+        }
+        assert_eq!(cells[0].label(), "fiber/loose");
+        assert_eq!(cells[5].label(), "flaky-cell/tight");
+    }
+
+    #[test]
+    fn adversarial_edge_cell_runs_violation_free() {
+        // The worst pairing: flaky cellular under the tight deadline.
+        let out = run_edge_cell(
+            EdgeCell {
+                link: LinkQuality::FlakyCellular,
+                deadline: DeadlineTightness::Tight,
+            },
+            0xED6E,
+        );
+        assert!(
+            out.pass(),
+            "violations: {:?}",
+            out.violations.iter().take(5).collect::<Vec<_>>()
+        );
+        assert!(out.events_checked > 0);
+        assert_eq!(out.requests, (24 * 3 + 16 * 2) * 3);
+        assert!(out.attainment > 0.0 && out.attainment <= 1.0);
+    }
+}

@@ -37,10 +37,22 @@ test -s /tmp/fig_brownout.out
 # Scenario-matrix smoke: the pruned composed-stress subset (now incl.
 # correlated-outage and gray-degradation cells under brownout) must pass
 # invariant checking with zero violations (well under 30 s; the full
-# 320-cell cross product is `fig_matrix --full`).
-./target/release/fig_matrix | tee /tmp/fig_matrix.out \
-    | grep -q "zero invariant violations"
+# 320-cell cross product is `fig_matrix --full`), and the trailing edge
+# smoke cell (flaky cellular x tight deadline) must conserve offloads.
+# (Capture-then-grep, not tee|grep -q: the binary keeps printing after
+# the first match and an early grep exit would SIGPIPE it.)
+./target/release/fig_matrix > /tmp/fig_matrix.out
+grep -q "zero invariant violations" /tmp/fig_matrix.out
+grep -q "edge smoke cell .* pass" /tmp/fig_matrix.out
 test -s /tmp/fig_matrix.out
+
+# Edge-cloud split serving smoke: the golden-pinned policy x WAN x
+# deadline sweep must show the deadline-driven policy beating the static
+# cut under degraded links, with zero offload-conservation violations.
+./target/release/fig_edge > /tmp/fig_edge.out
+grep -q "re-pricing the cut per request pays off" /tmp/fig_edge.out
+grep -q "zero violations" /tmp/fig_edge.out
+test -s /tmp/fig_edge.out
 
 # Planning-at-scale smoke: the warm-started DP must plan a 10k-GPU
 # cluster inside the budget (the binary self-judges and exits non-zero
@@ -67,3 +79,12 @@ cp /tmp/bench_kernel.out BENCH_kernel.json
 # Optimizer planning-time benchmark, archived as BENCH_optimizer.json.
 ./target/release/bench_optimizer | tee BENCH_optimizer.json
 grep -q '"gpus":10000' BENCH_optimizer.json
+
+# Full figure suite with per-figure wall time, archived as
+# BENCH_figures.json. Catches a figure quietly becoming 10x slower and
+# doubles as an end-to-end run of every binary (the suite exits non-zero
+# if any figure fails).
+BENCH_FIGURES_JSON=BENCH_figures.json \
+    ./target/release/all_figures > /tmp/all_figures.out
+grep -q "experiments completed" /tmp/all_figures.out
+grep -q '"total_wall_s"' BENCH_figures.json
